@@ -1,0 +1,61 @@
+// Fig. 7 — computation time of PM as a percentage of Optimal, under one,
+// two and three controller failures.
+//
+// The paper reports PM at 2.54% / 1.77% / 2.18% of GUROBI's time on
+// average. Our Optimal substitutes a from-scratch branch-and-bound that
+// runs to its configured budget on the large instances, so the absolute
+// ratio is smaller still — the reproduced shape is "the heuristic is
+// orders of magnitude cheaper and the gap grows with instance size".
+//
+// Flags: --optimal-time=<sec> (per case), --cases=<k,k,...> failure sizes.
+#include <iostream>
+#include <numeric>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pm;
+  util::CliArgs args(argc, argv);
+  const double time_limit = args.get_double("optimal-time", 10.0);
+  const std::string cases = args.get_string("cases", "1,2,3");
+  for (const auto& unused : args.unused()) {
+    std::cerr << "warning: unrecognized flag --" << unused << "\n";
+  }
+
+  const sdwan::Network net = core::make_att_network();
+  std::cout << "=== Fig. 7: computation time, PM as % of Optimal ===\n";
+
+  util::TextTable t({"failures", "cases", "PM mean (ms)",
+                     "Optimal mean (s)", "PM / Optimal"});
+  for (const std::string& tok : util::split(cases, ',')) {
+    long long k = 0;
+    if (!util::parse_int(tok, k) || k < 1 ||
+        k >= net.controller_count()) {
+      std::cerr << "skipping bad failure count '" << tok << "'\n";
+      continue;
+    }
+    core::RunnerOptions opts;
+    opts.run_optimal = true;
+    opts.optimal.time_limit_seconds = time_limit;
+    const auto results =
+        core::run_failure_sweep(net, static_cast<int>(k), opts);
+    double pm_total = 0.0;
+    double opt_total = 0.0;
+    for (const auto& r : results) {
+      pm_total += r.pm_seconds;
+      opt_total += r.optimal_seconds;
+    }
+    const double n = static_cast<double>(results.size());
+    const double ratio = opt_total <= 0.0 ? 0.0 : pm_total / opt_total;
+    t.add_row({std::to_string(k), std::to_string(results.size()),
+               bench::num(1000.0 * pm_total / n, 3),
+               bench::num(opt_total / n, 2),
+               bench::num(100.0 * ratio, 4) + "%"});
+  }
+  t.print(std::cout);
+  std::cout << "(paper: 2.54% / 1.77% / 2.18% of GUROBI on average; here "
+               "Optimal runs to its "
+            << bench::num(time_limit, 0)
+            << "s budget per case, see DESIGN.md substitution 2)\n";
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Google-benchmark microbenches of the hot paths: graph algorithms on the
+// ATT backbone, the programmability extraction, PM / the baselines, the
+// FMSSM model build and the simplex on synthetic LPs.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/fmssm.hpp"
+#include "core/pg.hpp"
+#include "core/pm_algorithm.hpp"
+#include "core/retroflow.hpp"
+#include "core/scenario.hpp"
+#include "graph/path_count.hpp"
+#include "graph/shortest_path.hpp"
+#include "milp/simplex.hpp"
+#include "sim/event_queue.hpp"
+#include "topo/att.hpp"
+
+namespace {
+
+using namespace pm;
+
+const sdwan::Network& att() {
+  static const sdwan::Network net = core::make_att_network();
+  return net;
+}
+
+const sdwan::FailureState& headline_state() {
+  static const sdwan::FailureState state = [] {
+    sdwan::FailureScenario sc;
+    for (int j = 0; j < att().controller_count(); ++j) {
+      const int loc = att().controller(j).location;
+      if (loc == 13 || loc == 20) sc.failed.push_back(j);
+    }
+    return sdwan::FailureState(att(), sc);
+  }();
+  return state;
+}
+
+void BM_DijkstraAtt(benchmark::State& state) {
+  const auto& g = att().topology().graph();
+  for (auto _ : state) {
+    for (int s = 0; s < g.node_count(); ++s) {
+      benchmark::DoNotOptimize(graph::dijkstra(g, s));
+    }
+  }
+}
+BENCHMARK(BM_DijkstraAtt);
+
+void BM_PathDiversityAtt(benchmark::State& state) {
+  const auto& g = att().topology().graph();
+  graph::PathCountOptions opts;
+  opts.slack = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::int64_t acc = 0;
+    for (int d = 0; d < g.node_count(); ++d) {
+      acc += graph::path_diversity(g, 13, d, opts);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_PathDiversityAtt)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_NetworkBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::make_att_network());
+  }
+}
+BENCHMARK(BM_NetworkBuild);
+
+void BM_FailureStateBuild(benchmark::State& state) {
+  sdwan::FailureScenario sc{{3, 4}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdwan::FailureState(att(), sc));
+  }
+}
+BENCHMARK(BM_FailureStateBuild);
+
+void BM_PmHeadlineCase(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_pm(headline_state()));
+  }
+}
+BENCHMARK(BM_PmHeadlineCase);
+
+void BM_RetroFlowHeadlineCase(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_retroflow(headline_state()));
+  }
+}
+BENCHMARK(BM_RetroFlowHeadlineCase);
+
+void BM_PgHeadlineCase(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_pg(headline_state()));
+  }
+}
+BENCHMARK(BM_PgHeadlineCase);
+
+void BM_FmssmModelBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_fmssm(headline_state()));
+  }
+}
+BENCHMARK(BM_FmssmModelBuild);
+
+void BM_SimplexRandomLp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> coeff(0.1, 5.0);
+  milp::Model m;
+  m.set_objective_sense(milp::Objective::kMaximize);
+  for (int j = 0; j < n; ++j) {
+    m.add_continuous("x" + std::to_string(j), 0.0, 10.0, coeff(rng));
+  }
+  for (int i = 0; i < n / 2; ++i) {
+    std::vector<milp::Term> terms;
+    for (int j = 0; j < n; ++j)
+
+      terms.push_back({j, coeff(rng)});
+    m.add_constraint("c" + std::to_string(i), std::move(terms),
+                     milp::Sense::kLe, 20.0 + coeff(rng));
+  }
+  for (auto _ : state) {
+    const auto r = milp::solve_lp(m);
+    if (r.status != milp::LpStatus::kOptimal) state.SkipWithError("LP!");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SimplexRandomLp)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    long long acc = 0;
+    for (int i = 0; i < 10000; ++i) {
+      q.schedule_at(static_cast<double>((i * 7919) % 10000),
+                    [&acc] { ++acc; });
+    }
+    q.run();
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// protocol_trace — the control-plane protocol end to end: heartbeats,
+// timeout-based failure detection, coordinator election, role handover
+// and flow-mod distribution, with the message counts and timeline a
+// network operator would read off a packet capture.
+//
+// Usage: ./build/examples/protocol_trace [--fail=13,20]
+//        [--second-failure-at=3000] [--heartbeat=50] [--timeout=200]
+#include <iostream>
+#include <set>
+
+#include "core/pm_algorithm.hpp"
+#include "core/scenario.hpp"
+#include "ctrl/simulation.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pm;
+  util::CliArgs args(argc, argv);
+  const std::string fail_spec = args.get_string("fail", "13,20");
+  const double second_at = args.get_double("second-failure-at", 3000.0);
+  ctrl::ControllerConfig config;
+  config.heartbeat_interval_ms = args.get_double("heartbeat", 50.0);
+  config.detection_timeout_ms = args.get_double("timeout", 200.0);
+  for (const auto& unused : args.unused()) {
+    std::cerr << "warning: unrecognized flag --" << unused << "\n";
+  }
+
+  const sdwan::Network net = core::make_att_network();
+  std::set<int> fail_nodes;
+  for (const auto& tok : util::split(fail_spec, ',')) {
+    long long v = 0;
+    if (util::parse_int(tok, v)) fail_nodes.insert(static_cast<int>(v));
+  }
+
+  ctrl::ControlSimulation simulation(
+      net,
+      [](const sdwan::FailureState& state,
+         const core::RecoveryPlan* previous) {
+        core::PmOptions opts;
+        opts.seed = previous;
+        return core::run_pm(state, opts);
+      },
+      config);
+
+  // Crash the named controllers: the first at t = 500 ms, any further
+  // ones at --second-failure-at (successive-failure mode).
+  double at = 500.0;
+  std::cout << "=== Control-plane protocol trace ===\n";
+  for (int j = 0; j < net.controller_count(); ++j) {
+    if (!fail_nodes.contains(net.controller(j).location)) continue;
+    std::cout << "scheduling crash of " << net.controller(j).name
+              << " at t=" << util::format_double(at, 0) << " ms\n";
+    simulation.fail_controller_at(j, at);
+    at = second_at;
+  }
+
+  const ctrl::SimulationReport report = simulation.run(10000.0);
+
+  std::cout << "\ntimeline:\n"
+            << "  first detection   t=" << util::format_double(
+                   report.detected_at, 1) << " ms\n"
+            << "  last wave acked   t=" << util::format_double(
+                   report.converged_at, 1) << " ms\n"
+            << "  recovery waves    " << report.recovery_waves << "\n"
+            << "  adopted switches  " << report.adopted_switches << "\n"
+            << "  flows programmed  " << report.flows_with_entries << "\n"
+            << "  data plane audit  "
+            << (report.all_flows_deliverable ? "all flows deliverable ✓"
+                                             : "DELIVERY BROKEN")
+            << "\n\nmessages on the control channel:\n";
+  util::TextTable t({"kind", "count"});
+  for (const auto& [kind, count] : report.messages_by_kind) {
+    t.add_row({kind, std::to_string(count)});
+  }
+  t.add_row({"total", std::to_string(report.messages_sent)});
+  t.print(std::cout);
+  return report.all_flows_deliverable ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pm::core {
+
+RecoveryMetrics evaluate_plan(const sdwan::FailureState& state,
+                              const RecoveryPlan& plan) {
+  RecoveryMetrics m;
+  m.algorithm = plan.algorithm;
+  m.solve_seconds = plan.solve_seconds;
+  m.offline_switch_count = state.offline_switches().size();
+  m.recoverable_flow_count = state.recoverable_flows().size();
+  m.ideal_total_delay_ms = state.ideal_total_delay();
+
+  const auto h = flow_programmability(state, plan);
+  std::vector<double> recovered_h;
+  recovered_h.reserve(h.size());
+  m.least_programmability = std::numeric_limits<std::int64_t>::max();
+  for (sdwan::FlowId l : state.recoverable_flows()) {
+    const auto it = h.find(l);
+    const std::int64_t hl = it == h.end() ? 0 : it->second;
+    m.least_programmability = std::min(m.least_programmability, hl);
+    if (hl > 0) {
+      recovered_h.push_back(static_cast<double>(hl));
+      m.total_programmability += hl;
+      ++m.recovered_flow_count;
+    }
+  }
+  if (state.recoverable_flows().empty()) m.least_programmability = 0;
+  m.programmability = util::box_stats(recovered_h);
+  m.recovered_flow_fraction =
+      m.recoverable_flow_count == 0
+          ? 1.0
+          : static_cast<double>(m.recovered_flow_count) /
+                static_cast<double>(m.recoverable_flow_count);
+
+  // Switches in actual use (prune semantics: mapped + >= 1 assignment).
+  std::set<sdwan::SwitchId> used;
+  for (const auto& [sw, flow] : plan.sdn_assignments) {
+    (void)flow;
+    used.insert(sw);
+  }
+  m.recovered_switch_count = used.size();
+
+  for (sdwan::ControllerId j : state.active_controllers()) {
+    m.available_control_resource += state.rest_capacity(j);
+  }
+  m.controller_load = controller_loads(state, plan);
+  for (const auto& [j, load] : m.controller_load) {
+    (void)j;
+    m.used_control_resource += load;
+  }
+  m.total_overhead_ms = total_control_overhead_ms(state, plan);
+  m.per_flow_overhead_ms = m.recovered_flow_count == 0
+                               ? 0.0
+                               : m.total_overhead_ms /
+                                     static_cast<double>(
+                                         m.recovered_flow_count);
+  return m;
+}
+
+}  // namespace pm::core

@@ -1,0 +1,66 @@
+// Evaluation metrics — one field per series the paper's figures plot.
+//
+//   Fig. 4(a)/5(a)/6(a): programmability box stats over recovered flows.
+//   Fig. 4(b)/5(b)/6(b): total programmability (benches normalize to
+//                        RetroFlow).
+//   Fig. 4(c)/5(c)/6(c): % recovered flows (of the recoverable offline
+//                        flows; see FailureState::recoverable_flows).
+//   Fig. 5(d)/6(d):      number of recovered offline switches.
+//   Fig. 5(e)/6(e):      control resource used per active controller.
+//   Fig. 4(d)/5(f)/6(f): per-flow communication overhead in ms.
+//   Fig. 7:              computation time (plan.solve_seconds).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/recovery_plan.hpp"
+#include "util/stats.hpp"
+
+namespace pm::core {
+
+struct RecoveryMetrics {
+  std::string algorithm;
+
+  /// Box stats of per-flow programmability over *recovered* flows
+  /// (flows with at least one SDN assignment).
+  util::BoxStats programmability;
+
+  /// Least programmability over ALL recoverable offline flows — the
+  /// objective obj_1 = r (0 when some recoverable flow stays offline).
+  std::int64_t least_programmability = 0;
+
+  /// obj_2: total programmability over recovered flows.
+  std::int64_t total_programmability = 0;
+
+  std::size_t recoverable_flow_count = 0;
+  std::size_t recovered_flow_count = 0;
+  double recovered_flow_fraction = 0.0;  ///< recovered / recoverable.
+
+  std::size_t offline_switch_count = 0;
+  std::size_t recovered_switch_count = 0;  ///< mapped switches in use.
+
+  /// Capacity units consumed per active controller, keyed by controller
+  /// id, plus the totals.
+  std::map<sdwan::ControllerId, double> controller_load;
+  double used_control_resource = 0.0;
+  double available_control_resource = 0.0;
+
+  /// Control-channel propagation (plus any middle-layer processing) summed
+  /// over all SDN assignments, and the same divided by recovered flows.
+  double total_overhead_ms = 0.0;
+  double per_flow_overhead_ms = 0.0;
+
+  /// The delay budget G of Eq. (6), for comparison with total_overhead_ms.
+  double ideal_total_delay_ms = 0.0;
+
+  double solve_seconds = 0.0;
+};
+
+/// Computes every metric for `plan` under `state`.
+RecoveryMetrics evaluate_plan(const sdwan::FailureState& state,
+                              const RecoveryPlan& plan);
+
+}  // namespace pm::core

@@ -1,0 +1,18 @@
+// NaiveNearest — the default OpenFlow failover strawman (Sec. II-B-1):
+// every offline switch is adopted, whole-switch, by its nearest active
+// controller, with NO capacity check. This is what a plain master/slave
+// controller list does, and it is the behaviour whose overloads the paper
+// cites as the trigger of cascading controller failures [8].
+//
+// The returned plan deliberately may violate the capacity constraint —
+// validate_plan() reports it, and sim::simulate_cascade() uses it to
+// show the cascade PM avoids.
+#pragma once
+
+#include "core/recovery_plan.hpp"
+
+namespace pm::core {
+
+RecoveryPlan run_naive_nearest(const sdwan::FailureState& state);
+
+}  // namespace pm::core

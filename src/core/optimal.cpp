@@ -1,0 +1,111 @@
+#include "core/optimal.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/pm_algorithm.hpp"
+
+namespace pm::core {
+
+namespace {
+
+/// Makes PM's plan satisfy the delay budget of Eq. (14) by dropping the
+/// most expensive assignments first — preferring flows whose
+/// programmability is well above the minimum, so the balanced level r
+/// survives the trim whenever possible. The result is a feasible (if
+/// conservative) incumbent for the branch-and-bound.
+RecoveryPlan trim_to_delay_budget(const sdwan::FailureState& state,
+                                  RecoveryPlan plan) {
+  const sdwan::Network& net = state.network();
+  const double budget = state.ideal_total_delay();
+  double total = 0.0;
+  struct Item {
+    sdwan::SwitchId sw;
+    sdwan::FlowId flow;
+    double delay;
+  };
+  std::vector<Item> items;
+  for (const auto& [sw, flow] : plan.sdn_assignments) {
+    const sdwan::ControllerId j = plan.controller_of_assignment(sw, flow);
+    const double d = net.delay_ms(sw, j);
+    items.push_back({sw, flow, d});
+    total += d;
+  }
+  if (total <= budget) return plan;
+
+  auto h = flow_programmability(state, plan);
+  std::int64_t level = std::numeric_limits<std::int64_t>::max();
+  for (sdwan::FlowId l : state.recoverable_flows()) {
+    const auto it = h.find(l);
+    level = std::min(level, it == h.end() ? 0 : it->second);
+  }
+
+  // Drop the most expensive assignment whose removal keeps its flow at or
+  // above the balance level; when none qualifies, lower the bar to "keeps
+  // the flow recovered", and only then sacrifice flows outright.
+  while (total > budget && !items.empty()) {
+    auto qualifies = [&](const Item& it, std::int64_t floor) {
+      return h.at(it.flow) - net.diversity(it.flow, it.sw) >= floor;
+    };
+    std::size_t pick = items.size();
+    for (const std::int64_t floor : {level, std::int64_t{1},
+                                     std::int64_t{0}}) {
+      double best_delay = -1.0;
+      for (std::size_t k = 0; k < items.size(); ++k) {
+        if (qualifies(items[k], floor) && items[k].delay > best_delay) {
+          best_delay = items[k].delay;
+          pick = k;
+        }
+      }
+      if (pick < items.size()) break;
+    }
+    if (pick >= items.size()) break;
+    const Item it = items[pick];
+    items.erase(items.begin() + static_cast<long>(pick));
+    plan.sdn_assignments.erase({it.sw, it.flow});
+    plan.assignment_controller.erase({it.sw, it.flow});
+    h.at(it.flow) -= net.diversity(it.flow, it.sw);
+    total -= it.delay;
+  }
+  prune_unused_mappings(plan);
+  return plan;
+}
+
+}  // namespace
+
+OptimalOutcome run_optimal(const sdwan::FailureState& state,
+                           OptimalOptions options) {
+  OptimalOutcome outcome;
+  FmssmProblem problem = build_fmssm(state, options.fmssm);
+
+  milp::MipOptions mip;
+  mip.time_limit_seconds = options.time_limit_seconds;
+  mip.node_limit = options.node_limit;
+  if (options.warm_start_with_pm) {
+    const RecoveryPlan pm_plan = run_pm(state);
+    auto encoded = problem.encode(state, pm_plan);
+    if (!problem.model.is_feasible(encoded)) {
+      encoded =
+          problem.encode(state, trim_to_delay_budget(state, pm_plan));
+    }
+    if (problem.model.is_feasible(encoded)) {
+      mip.warm_start = encoded;
+    }
+  }
+
+  const milp::MipResult result = milp::solve_mip(problem.model, mip);
+  outcome.status = result.status;
+  outcome.best_bound = result.best_bound;
+  outcome.nodes_explored = result.nodes_explored;
+  outcome.seconds = result.seconds;
+  if (result.has_solution()) {
+    RecoveryPlan plan = problem.decode(result.x);
+    plan.solve_seconds = result.seconds;
+    plan.proven_optimal = result.status == milp::MipStatus::kOptimal;
+    plan.note = milp::to_string(result.status);
+    outcome.plan = std::move(plan);
+  }
+  return outcome;
+}
+
+}  // namespace pm::core

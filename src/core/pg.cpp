@@ -1,0 +1,113 @@
+#include "core/pg.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+
+namespace pm::core {
+
+namespace {
+using sdwan::ControllerId;
+using sdwan::FlowId;
+using sdwan::SwitchId;
+}  // namespace
+
+RecoveryPlan run_pg(const sdwan::FailureState& state) {
+  const auto start = std::chrono::steady_clock::now();
+  RecoveryPlan plan;
+  plan.algorithm = "PG";
+  plan.middle_layer_ms = kFlowVisorLatencyMs * kMessagesPerTransaction;
+
+  // The middle layer makes every (switch, flow) pair independently
+  // assignable; track which controller serves each pair so capacity and
+  // overhead are attributable. A switch may be sliced among several
+  // controllers, so plan.mapping cannot express PG's state — we pick, for
+  // reporting, the controller that serves the most pairs of the switch.
+  std::map<ControllerId, double> rest;
+  for (ControllerId j : state.active_controllers()) {
+    rest[j] = state.rest_capacity(j);
+  }
+  std::map<FlowId, std::int64_t> h;
+  for (FlowId l : state.recoverable_flows()) h[l] = 0;
+
+  // pair -> controller chosen by the layer.
+  std::map<std::pair<SwitchId, FlowId>, ControllerId> pair_controller;
+
+  auto nearest_with_capacity = [&](SwitchId s) -> ControllerId {
+    for (ControllerId j : state.controllers_by_delay(s)) {
+      if (rest.at(j) >= 1.0) return j;
+    }
+    return -1;
+  };
+
+  // Phase 1 — balance: raise the minimum programmability level by level,
+  // giving each least-programmability flow one more SDN switch per round.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    std::int64_t sigma = std::numeric_limits<std::int64_t>::max();
+    for (const auto& [l, hl] : h) sigma = std::min(sigma, hl);
+    if (h.empty()) break;
+    for (FlowId l : state.recoverable_flows()) {
+      if (h.at(l) != sigma) continue;
+      // Best unused opportunity: maximum programmability gain, ties to
+      // the lowest-delay assignable controller.
+      const sdwan::FailureState::Opportunity* best = nullptr;
+      ControllerId best_ctrl = -1;
+      for (const auto& opp : state.opportunities(l)) {
+        if (pair_controller.contains({opp.sw, l})) continue;
+        const ControllerId j = nearest_with_capacity(opp.sw);
+        if (j < 0) continue;
+        if (best == nullptr || opp.p > best->p) {
+          best = &opp;
+          best_ctrl = j;
+        }
+      }
+      if (best == nullptr) continue;
+      rest.at(best_ctrl) -= 1.0;
+      h.at(l) += best->p;
+      pair_controller[{best->sw, l}] = best_ctrl;
+      progress = true;
+    }
+  }
+
+  // Phase 2 — utilize: spend leftover capacity on any remaining pairs.
+  for (FlowId l : state.recoverable_flows()) {
+    for (const auto& opp : state.opportunities(l)) {
+      if (pair_controller.contains({opp.sw, l})) continue;
+      const ControllerId j = nearest_with_capacity(opp.sw);
+      if (j < 0) continue;
+      rest.at(j) -= 1.0;
+      pair_controller[{opp.sw, l}] = j;
+    }
+  }
+
+  // Record the exact per-pair controllers (capacity/overhead accounting
+  // uses these), plus a majority-vote mapping per switch for display.
+  plan.assignment_controller = pair_controller;
+  std::map<SwitchId, std::map<ControllerId, int>> votes;
+  for (const auto& [pair, j] : pair_controller) {
+    votes[pair.first][j]++;
+    plan.sdn_assignments.insert(pair);
+  }
+  for (const auto& [sw, ballot] : votes) {
+    ControllerId winner = -1;
+    int best_count = -1;
+    for (const auto& [j, count] : ballot) {
+      if (count > best_count) {
+        best_count = count;
+        winner = j;
+      }
+    }
+    plan.mapping[sw] = winner;
+  }
+
+  prune_unused_mappings(plan);
+  plan.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return plan;
+}
+
+}  // namespace pm::core

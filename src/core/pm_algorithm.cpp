@@ -1,0 +1,176 @@
+#include "core/pm_algorithm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace pm::core {
+
+namespace {
+
+using sdwan::ControllerId;
+using sdwan::FlowId;
+using sdwan::SwitchId;
+
+/// Flows with beta = 1 at each offline switch, precomputed once: the inner
+/// loops of Algorithm 1 iterate "l in {beta_i^l = 1}" repeatedly.
+std::map<SwitchId, std::vector<std::pair<FlowId, std::int64_t>>>
+flows_by_switch(const sdwan::FailureState& state) {
+  std::map<SwitchId, std::vector<std::pair<FlowId, std::int64_t>>> by_switch;
+  for (SwitchId s : state.offline_switches()) by_switch[s] = {};
+  for (FlowId l : state.recoverable_flows()) {
+    for (const auto& opp : state.opportunities(l)) {
+      by_switch[opp.sw].emplace_back(l, opp.p);
+    }
+  }
+  return by_switch;
+}
+
+}  // namespace
+
+RecoveryPlan run_pm(const sdwan::FailureState& state, PmOptions options) {
+  const auto start = std::chrono::steady_clock::now();
+  RecoveryPlan plan;
+  plan.algorithm = "PM";
+
+  const auto by_switch = flows_by_switch(state);
+
+  // Working copies of A^rest and the per-flow programmability H.
+  std::map<ControllerId, double> rest;
+  for (ControllerId j : state.active_controllers()) {
+    rest[j] = state.rest_capacity(j);
+  }
+  std::map<FlowId, std::int64_t> h;
+  for (FlowId l : state.recoverable_flows()) h[l] = 0;
+
+  const int total_iterations =
+      options.total_iterations > 0 ? options.total_iterations
+                                   : state.max_offline_switches_on_path();
+
+  // Incremental mode: adopt the still-valid parts of a previous plan
+  // before the balancing loop (the loop then treats the adopted switches
+  // as already mapped, exactly like its own line-18 path).
+  if (options.seed != nullptr) {
+    for (const auto& [sw, ctrl] : options.seed->mapping) {
+      if (state.is_offline_switch(sw) && state.is_active_controller(ctrl)) {
+        plan.mapping[sw] = ctrl;
+      }
+    }
+    for (const auto& [sw, flow] : options.seed->sdn_assignments) {
+      const ControllerId j = plan.controller_of(sw);
+      if (j < 0 || !h.contains(flow)) continue;
+      const auto& flows = by_switch.at(sw);
+      const auto it = std::find_if(
+          flows.begin(), flows.end(),
+          [&](const auto& fl) { return fl.first == flow; });
+      if (it == flows.end() || rest.at(j) < 1.0) continue;
+      rest.at(j) -= 1.0;
+      h.at(flow) += it->second;
+      plan.sdn_assignments.insert({sw, flow});
+    }
+  }
+
+  // Line 1: X = Y = empty, S* = S, sigma = 0, test_count = 0.
+  std::vector<SwitchId> untested = state.offline_switches();
+  std::int64_t sigma = 0;
+  int test_count = 0;
+
+  auto restart_sweep = [&] {
+    untested = state.offline_switches();
+    ++test_count;
+    // sigma = min(H) — the water level rises to the new minimum.
+    std::int64_t min_h = std::numeric_limits<std::int64_t>::max();
+    for (const auto& [l, hl] : h) min_h = std::min(min_h, hl);
+    if (!h.empty()) sigma = min_h;
+  };
+
+  // Lines 2-40: the balancing loop.
+  while (test_count < total_iterations && !h.empty()) {
+    // Lines 5-15: find the switch with the most least-programmability
+    // flows. `untested` is kept ascending, so ties pick the lowest id.
+    std::size_t delta = 0;
+    SwitchId i0 = -1;
+    for (SwitchId s : untested) {
+      std::size_t count = 0;
+      for (const auto& [l, p] : by_switch.at(s)) {
+        (void)p;
+        if (h.at(l) == sigma) ++count;
+      }
+      if (count > delta) {
+        delta = count;
+        i0 = s;
+        if (!options.greedy_switch_selection) break;  // first viable switch
+      }
+    }
+    if (i0 < 0) {
+      // No untested switch hosts a least-programmability flow: nothing in
+      // this sweep can raise the minimum, so start the next sweep.
+      restart_sweep();
+      continue;
+    }
+
+    // Lines 17-28: map switch i0 to a controller j0.
+    ControllerId j0 = plan.controller_of(i0);
+    if (j0 < 0) {
+      for (ControllerId j : state.controllers_by_delay(i0)) {
+        if (rest.at(j) >= static_cast<double>(state.gamma(i0))) {
+          j0 = j;
+          break;  // nearest capable controller
+        }
+      }
+      if (j0 < 0) {
+        // Line 26: fall back to the controller with maximum residual
+        // capacity.
+        double best = -1.0;
+        for (ControllerId j : state.active_controllers()) {
+          if (rest.at(j) > best) {
+            best = rest.at(j);
+            j0 = j;
+          }
+        }
+      }
+      plan.mapping[i0] = j0;  // line 29: X <- X + (i0, j0)
+    }
+    std::erase(untested, i0);  // line 29: S* <- S* \ s_i0
+
+    // Lines 31-36: put least-programmability flows at i0 into SDN mode.
+    for (const auto& [l0, p] : by_switch.at(i0)) {
+      // An assignment costs one whole control unit, so a fractional
+      // residual below 1 cannot host it.
+      if (h.at(l0) <= sigma &&
+          !plan.sdn_assignments.contains({i0, l0}) &&
+          rest.at(j0) >= 1.0) {
+        rest.at(j0) -= 1.0;
+        h.at(l0) += p;
+        plan.sdn_assignments.insert({i0, l0});
+      }
+    }
+
+    // Lines 37-39: sweep finished — raise the water level.
+    if (untested.empty()) restart_sweep();
+  }
+
+  // Lines 42-50: utilization pass — spend leftover capacity.
+  if (!options.skip_utilization_pass) {
+    for (const auto& [i0, flows] : by_switch) {
+      const ControllerId j0 = plan.controller_of(i0);
+      if (j0 < 0) continue;
+      for (const auto& [l0, p] : flows) {
+        (void)p;
+        if (rest.at(j0) >= 1.0 &&
+            !plan.sdn_assignments.contains({i0, l0})) {
+          rest.at(j0) -= 1.0;
+          plan.sdn_assignments.insert({i0, l0});
+        }
+      }
+    }
+  }
+
+  prune_unused_mappings(plan);
+  plan.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return plan;
+}
+
+}  // namespace pm::core

@@ -1,0 +1,74 @@
+#include "core/retroflow.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <vector>
+
+namespace pm::core {
+
+namespace {
+using sdwan::ControllerId;
+using sdwan::FlowId;
+using sdwan::SwitchId;
+}  // namespace
+
+RecoveryPlan run_retroflow(const sdwan::FailureState& state,
+                           RetroFlowOptions options) {
+  const auto start = std::chrono::steady_clock::now();
+  RecoveryPlan plan;
+  plan.algorithm = "RetroFlow";
+  plan.whole_switch_control = true;
+
+  // Programmability each switch would recover if remapped wholesale.
+  std::map<SwitchId, std::int64_t> switch_value;
+  std::map<SwitchId, std::vector<FlowId>> switch_flows;
+  for (SwitchId s : state.offline_switches()) {
+    switch_value[s] = 0;
+    switch_flows[s] = {};
+  }
+  for (FlowId l : state.recoverable_flows()) {
+    for (const auto& opp : state.opportunities(l)) {
+      switch_value[opp.sw] += opp.p;
+      switch_flows[opp.sw].push_back(l);
+    }
+  }
+
+  std::map<ControllerId, double> rest;
+  for (ControllerId j : state.active_controllers()) {
+    rest[j] = state.rest_capacity(j);
+  }
+
+  // Switches in ascending id (deterministic); each may go only to its
+  // nearest `controller_candidates` controllers.
+  const int candidates = std::max(1, options.controller_candidates);
+  for (SwitchId s : state.offline_switches()) {
+    if (switch_value.at(s) == 0) continue;  // nothing to recover there
+    const double cost = static_cast<double>(state.gamma(s));
+    ControllerId chosen = -1;
+    const auto by_delay = state.controllers_by_delay(s);
+    const int tries =
+        std::min<int>(candidates, static_cast<int>(by_delay.size()));
+    for (int k = 0; k < tries; ++k) {
+      if (rest.at(by_delay[static_cast<std::size_t>(k)]) >= cost) {
+        chosen = by_delay[static_cast<std::size_t>(k)];
+        break;
+      }
+    }
+    if (chosen < 0) continue;  // stays in legacy mode — unrecovered
+    rest.at(chosen) -= cost;
+    plan.mapping[s] = chosen;
+    // Whole-switch SDN mode: every programmable flow there is recovered.
+    for (FlowId l : switch_flows.at(s)) {
+      plan.sdn_assignments.insert({s, l});
+    }
+  }
+
+  prune_unused_mappings(plan);
+  plan.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return plan;
+}
+
+}  // namespace pm::core

@@ -1,0 +1,39 @@
+// RetroFlow baseline [6] (IWQoS'19) — switch-level recovery with hybrid
+// *switch* modes, reimplemented from the descriptions in Secs. II-B-1 and
+// VI-B-2 of the PM paper.
+//
+// RetroFlow partitions the offline switches into a recovered set (whole
+// switch remapped to an active controller, every flow there in SDN mode,
+// costing the switch's full gamma_i) and a legacy set (pure OSPF, no
+// controller, no programmability). The coarse granularity is the point of
+// comparison: a switch whose gamma_i exceeds every controller's residual
+// capacity — like the ATT hub s13 — cannot be recovered at all, and any
+// flow that traverses only legacy switches stays offline.
+//
+// Mapping policy: each offline switch is considered for its
+// `controller_candidates` nearest active controllers (RetroFlow minimizes
+// control-traffic overhead, so it does not shop a switch around the whole
+// control plane) and stays in legacy mode when none has gamma_i units
+// free. The default of 2 candidates reproduces the paper's behaviour on
+// both ends: under single failures everything is recovered (Fig. 4),
+// while under multiple failures the coarse per-switch cost stops matching
+// the nearby controllers' residual capacity and large residual capacity
+// is left stranded (Figs. 5(e)/6(e)) — most prominently hub switch 13 in
+// the (13, 20) case. The ablation bench sweeps the candidate count to
+// show how much of PM's advantage is fine granularity vs. merely smarter
+// packing.
+#pragma once
+
+#include "core/recovery_plan.hpp"
+
+namespace pm::core {
+
+struct RetroFlowOptions {
+  /// How many nearest controllers a switch may be mapped to (>= 1).
+  int controller_candidates = 2;
+};
+
+RecoveryPlan run_retroflow(const sdwan::FailureState& state,
+                           RetroFlowOptions options = {});
+
+}  // namespace pm::core

@@ -1,0 +1,14 @@
+#include "core/scenario.hpp"
+
+#include "topo/att.hpp"
+
+namespace pm::core {
+
+sdwan::Network make_att_network(sdwan::NetworkConfig config) {
+  if (config.controller_capacity <= 0.0) {
+    config.controller_capacity = kAttControllerCapacity;
+  }
+  return sdwan::Network(topo::att_topology(), topo::att_domains(), config);
+}
+
+}  // namespace pm::core

@@ -1,0 +1,129 @@
+#include "core/serialize.hpp"
+
+namespace pm::core {
+
+using util::JsonValue;
+
+JsonValue plan_to_json(const RecoveryPlan& plan) {
+  JsonValue out = JsonValue::object();
+  out["algorithm"] = JsonValue(plan.algorithm);
+  out["whole_switch_control"] = JsonValue(plan.whole_switch_control);
+  out["middle_layer_ms"] = JsonValue(plan.middle_layer_ms);
+  out["solve_seconds"] = JsonValue(plan.solve_seconds);
+  out["proven_optimal"] = JsonValue(plan.proven_optimal);
+  if (!plan.note.empty()) out["note"] = JsonValue(plan.note);
+
+  JsonValue mapping = JsonValue::array();
+  for (const auto& [sw, ctrl] : plan.mapping) {
+    JsonValue entry = JsonValue::object();
+    entry["switch"] = JsonValue(sw);
+    entry["controller"] = JsonValue(ctrl);
+    mapping.push_back(std::move(entry));
+  }
+  out["mapping"] = std::move(mapping);
+
+  JsonValue assignments = JsonValue::array();
+  for (const auto& [sw, flow] : plan.sdn_assignments) {
+    JsonValue entry = JsonValue::object();
+    entry["switch"] = JsonValue(sw);
+    entry["flow"] = JsonValue(flow);
+    const auto it = plan.assignment_controller.find({sw, flow});
+    if (it != plan.assignment_controller.end()) {
+      entry["controller"] = JsonValue(it->second);
+    }
+    assignments.push_back(std::move(entry));
+  }
+  out["sdn_assignments"] = std::move(assignments);
+  return out;
+}
+
+RecoveryPlan plan_from_json(const util::JsonValue& json) {
+  try {
+    RecoveryPlan plan;
+    plan.algorithm = json.at("algorithm").as_string();
+    plan.whole_switch_control = json.at("whole_switch_control").as_bool();
+    plan.middle_layer_ms = json.at("middle_layer_ms").as_number();
+    plan.solve_seconds = json.at("solve_seconds").as_number();
+    plan.proven_optimal = json.at("proven_optimal").as_bool();
+    if (json.contains("note")) plan.note = json.at("note").as_string();
+    const JsonValue& mapping = json.at("mapping");
+    for (std::size_t i = 0; i < mapping.size(); ++i) {
+      const JsonValue& entry = mapping.at(i);
+      plan.mapping[static_cast<sdwan::SwitchId>(
+          entry.at("switch").as_int())] =
+          static_cast<sdwan::ControllerId>(entry.at("controller").as_int());
+    }
+    const JsonValue& assignments = json.at("sdn_assignments");
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+      const JsonValue& entry = assignments.at(i);
+      const auto sw =
+          static_cast<sdwan::SwitchId>(entry.at("switch").as_int());
+      const auto flow =
+          static_cast<sdwan::FlowId>(entry.at("flow").as_int());
+      plan.sdn_assignments.insert({sw, flow});
+      if (entry.contains("controller")) {
+        plan.assignment_controller[{sw, flow}] =
+            static_cast<sdwan::ControllerId>(
+                entry.at("controller").as_int());
+      }
+    }
+    return plan;
+  } catch (const std::logic_error& e) {
+    // Covers both type mismatches and std::out_of_range (missing keys).
+    throw std::runtime_error(std::string("malformed plan JSON: ") +
+                             e.what());
+  }
+}
+
+JsonValue metrics_to_json(const RecoveryMetrics& m) {
+  JsonValue out = JsonValue::object();
+  out["algorithm"] = JsonValue(m.algorithm);
+  out["least_programmability"] = JsonValue(m.least_programmability);
+  out["total_programmability"] = JsonValue(m.total_programmability);
+  out["recoverable_flows"] =
+      JsonValue(static_cast<std::int64_t>(m.recoverable_flow_count));
+  out["recovered_flows"] =
+      JsonValue(static_cast<std::int64_t>(m.recovered_flow_count));
+  out["recovered_fraction"] = JsonValue(m.recovered_flow_fraction);
+  out["offline_switches"] =
+      JsonValue(static_cast<std::int64_t>(m.offline_switch_count));
+  out["recovered_switches"] =
+      JsonValue(static_cast<std::int64_t>(m.recovered_switch_count));
+  out["used_control_resource"] = JsonValue(m.used_control_resource);
+  out["available_control_resource"] =
+      JsonValue(m.available_control_resource);
+  out["total_overhead_ms"] = JsonValue(m.total_overhead_ms);
+  out["per_flow_overhead_ms"] = JsonValue(m.per_flow_overhead_ms);
+  out["ideal_total_delay_ms"] = JsonValue(m.ideal_total_delay_ms);
+  out["solve_seconds"] = JsonValue(m.solve_seconds);
+
+  JsonValue box = JsonValue::object();
+  box["min"] = JsonValue(m.programmability.min);
+  box["q1"] = JsonValue(m.programmability.q1);
+  box["median"] = JsonValue(m.programmability.median);
+  box["q3"] = JsonValue(m.programmability.q3);
+  box["max"] = JsonValue(m.programmability.max);
+  box["mean"] = JsonValue(m.programmability.mean);
+  box["count"] = JsonValue(static_cast<std::int64_t>(
+      m.programmability.count));
+  out["programmability"] = std::move(box);
+
+  JsonValue loads = JsonValue::object();
+  for (const auto& [j, load] : m.controller_load) {
+    loads[std::to_string(j)] = JsonValue(load);
+  }
+  out["controller_load"] = std::move(loads);
+  return out;
+}
+
+JsonValue case_report_to_json(const std::string& label,
+                              const RecoveryPlan& plan,
+                              const RecoveryMetrics& metrics) {
+  JsonValue out = JsonValue::object();
+  out["case"] = JsonValue(label);
+  out["plan"] = plan_to_json(plan);
+  out["metrics"] = metrics_to_json(metrics);
+  return out;
+}
+
+}  // namespace pm::core

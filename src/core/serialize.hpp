@@ -1,0 +1,25 @@
+// JSON serialization of recovery plans and metrics — lets operators
+// persist a computed plan, audit or diff it, and replay it later (the
+// examples expose this via --json flags).
+#pragma once
+
+#include "core/metrics.hpp"
+#include "core/recovery_plan.hpp"
+#include "util/json.hpp"
+
+namespace pm::core {
+
+util::JsonValue plan_to_json(const RecoveryPlan& plan);
+
+/// Rebuilds a plan from JSON. Throws std::runtime_error on malformed or
+/// incomplete documents (missing keys, wrong types).
+RecoveryPlan plan_from_json(const util::JsonValue& json);
+
+util::JsonValue metrics_to_json(const RecoveryMetrics& metrics);
+
+/// One self-contained case report: scenario label, plan and metrics.
+util::JsonValue case_report_to_json(const std::string& label,
+                                    const RecoveryPlan& plan,
+                                    const RecoveryMetrics& metrics);
+
+}  // namespace pm::core

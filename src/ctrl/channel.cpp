@@ -1,0 +1,87 @@
+#include "ctrl/channel.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "graph/shortest_path.hpp"
+
+namespace pm::ctrl {
+
+std::string message_kind(const Message& m) {
+  struct Visitor {
+    std::string operator()(const Heartbeat&) const { return "heartbeat"; }
+    std::string operator()(const RoleRequest&) const {
+      return "role-request";
+    }
+    std::string operator()(const RoleReply&) const { return "role-reply"; }
+    std::string operator()(const FlowMod&) const { return "flow-mod"; }
+    std::string operator()(const FlowModAck&) const {
+      return "flow-mod-ack";
+    }
+  };
+  return std::visit(Visitor{}, m.body);
+}
+
+void ControlChannel::attach(EndpointId id, sdwan::SwitchId location,
+                            Handler handler) {
+  net_->topology().graph().check_node(location);
+  endpoints_[id] = {location, std::move(handler), true};
+}
+
+void ControlChannel::detach(EndpointId id) {
+  const auto it = endpoints_.find(id);
+  if (it != endpoints_.end()) it->second.attached = false;
+}
+
+void ControlChannel::send(Message m, double extra_latency_ms) {
+  const auto from = endpoints_.find(m.from);
+  if (from == endpoints_.end() || !from->second.attached) {
+    throw std::logic_error("send from unattached endpoint " +
+                           std::to_string(m.from));
+  }
+  const auto to = endpoints_.find(m.to);
+  if (to == endpoints_.end()) {
+    ++dropped_;
+    return;
+  }
+  ++sent_;
+  ++by_kind_[message_kind(m)];
+
+  // Propagation delay between the endpoints' locations over the data
+  // network (in-band control), via the precomputed all-pairs distances in
+  // Network's delay matrix when one endpoint is a controller; otherwise
+  // re-derive from the topology. Both locations are topology nodes, so
+  // use the graph distance directly.
+  const double delay =
+      shortest_delay(from->second.location, to->second.location) +
+      extra_latency_ms;
+  const EndpointId target = m.to;
+  queue_->schedule_in(delay, [this, target, m] {
+    const auto it = endpoints_.find(target);
+    if (it == endpoints_.end() || !it->second.attached ||
+        !it->second.handler) {
+      ++dropped_;
+      return;
+    }
+    it->second.handler(m);
+  });
+}
+
+double ControlChannel::shortest_delay(sdwan::SwitchId a,
+                                      sdwan::SwitchId b) const {
+  if (a == b) return 0.0;
+  // Network caches per-switch-to-controller delays only; derive the
+  // general pairwise delay from a controller location when possible,
+  // otherwise via a (cached) Dijkstra.
+  const auto key = a < b ? std::pair{a, b} : std::pair{b, a};
+  const auto it = delay_cache_.find(key);
+  if (it != delay_cache_.end()) return it->second;
+  const auto sssp = graph::dijkstra(net_->topology().graph(), a);
+  for (int v = 0; v < net_->switch_count(); ++v) {
+    const auto k = a < v ? std::pair{a, v} : std::pair{v, a};
+    delay_cache_[k] = sssp.dist[static_cast<std::size_t>(v)];
+  }
+  return delay_cache_.at(key);
+}
+
+}  // namespace pm::ctrl

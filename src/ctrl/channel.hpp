@@ -1,0 +1,64 @@
+// The control channel: delivers messages between endpoints over the
+// event queue, paying the propagation delay of the shortest path between
+// their locations (in-band control). Per-message statistics are kept for
+// the convergence reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "ctrl/messages.hpp"
+#include "sdwan/network.hpp"
+#include "sim/event_queue.hpp"
+
+namespace pm::ctrl {
+
+class ControlChannel {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  ControlChannel(const sdwan::Network& net, sim::EventQueue& queue)
+      : net_(&net), queue_(&queue) {}
+
+  /// Registers the receive handler of an endpoint located at topology
+  /// node `location`. Endpoints must be registered before they can
+  /// receive; sending to an unregistered endpoint drops the message
+  /// (counted).
+  void attach(EndpointId id, sdwan::SwitchId location, Handler handler);
+
+  /// Detaches an endpoint (a dead controller); its queued messages are
+  /// dropped on delivery.
+  void detach(EndpointId id);
+
+  /// Sends `m` (m.from must be attached); delivery is scheduled after the
+  /// locations' shortest-path delay plus `extra_latency_ms`.
+  void send(Message m, double extra_latency_ms = 0.0);
+
+  std::uint64_t messages_sent() const { return sent_; }
+  std::uint64_t messages_dropped() const { return dropped_; }
+  const std::map<std::string, std::uint64_t>& sent_by_kind() const {
+    return by_kind_;
+  }
+
+ private:
+  struct Endpoint {
+    sdwan::SwitchId location = -1;
+    Handler handler;
+    bool attached = false;
+  };
+
+  double shortest_delay(sdwan::SwitchId a, sdwan::SwitchId b) const;
+
+  const sdwan::Network* net_;
+  sim::EventQueue* queue_;
+  std::map<EndpointId, Endpoint> endpoints_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::map<std::string, std::uint64_t> by_kind_;
+  mutable std::map<std::pair<sdwan::SwitchId, sdwan::SwitchId>, double>
+      delay_cache_;
+};
+
+}  // namespace pm::ctrl

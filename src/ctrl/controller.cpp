@@ -1,0 +1,150 @@
+#include "ctrl/controller.hpp"
+
+#include <algorithm>
+
+namespace pm::ctrl {
+
+ControllerNode::ControllerNode(const sdwan::Network& net,
+                               sdwan::ControllerId id,
+                               ControlChannel& channel,
+                               sim::EventQueue& queue,
+                               SharedRecoveryState& shared,
+                               RecoveryPolicy policy,
+                               ControllerConfig config)
+    : net_(&net),
+      id_(id),
+      channel_(&channel),
+      queue_(&queue),
+      shared_(&shared),
+      policy_(std::move(policy)),
+      config_(config) {}
+
+void ControllerNode::start() {
+  alive_ = true;
+  channel_->attach(controller_endpoint(*net_, id_),
+                   net_->controller(id_).location,
+                   [this](const Message& m) { on_message(m); });
+  for (sdwan::ControllerId j = 0; j < net_->controller_count(); ++j) {
+    if (j != id_) last_heard_[j] = queue_->now();
+  }
+  beat();
+  queue_->schedule_in(config_.detection_timeout_ms,
+                      [this] { check_peers(); });
+}
+
+void ControllerNode::fail() {
+  alive_ = false;
+  channel_->detach(controller_endpoint(*net_, id_));
+}
+
+void ControllerNode::beat() {
+  if (!alive_) return;
+  for (sdwan::ControllerId j = 0; j < net_->controller_count(); ++j) {
+    if (j == id_) continue;
+    Message m;
+    m.from = controller_endpoint(*net_, id_);
+    m.to = controller_endpoint(*net_, j);
+    m.body = Heartbeat{id_, sequence_};
+    channel_->send(m);
+  }
+  ++sequence_;
+  queue_->schedule_in(config_.heartbeat_interval_ms, [this] { beat(); });
+}
+
+void ControllerNode::check_peers() {
+  if (!alive_) return;
+  const double now = queue_->now();
+  bool newly_suspected = false;
+  for (const auto& [peer, heard] : last_heard_) {
+    if (suspected_.contains(peer)) continue;
+    if (now - heard > config_.detection_timeout_ms) {
+      suspected_.insert(peer);
+      newly_suspected = true;
+    }
+  }
+  if (newly_suspected) {
+    if (first_detection_at_ < 0) first_detection_at_ = now;
+    // Coordinator: the lowest-id controller not suspected by this node.
+    sdwan::ControllerId coordinator = id_;
+    for (sdwan::ControllerId j = 0; j < net_->controller_count(); ++j) {
+      if (j != id_ && !suspected_.contains(j)) {
+        coordinator = std::min(coordinator, j);
+      }
+    }
+    if (coordinator == id_) run_recovery();
+  }
+  queue_->schedule_in(config_.heartbeat_interval_ms,
+                      [this] { check_peers(); });
+}
+
+void ControllerNode::run_recovery() {
+  sdwan::FailureScenario scenario;
+  scenario.failed.assign(suspected_.begin(), suspected_.end());
+  const sdwan::FailureState state(*net_, scenario);
+  const core::RecoveryPlan* previous =
+      installed_plan_ ? &*installed_plan_ : nullptr;
+  core::RecoveryPlan plan = policy_(state, previous);
+  ++recoveries_run_;
+  shared_->converged_at = -1.0;
+  shared_->pending_acks.clear();
+  shared_->wave_active = true;
+
+  // Distribute: RoleRequest per adopted switch, then the flow-mods. Every
+  // message is sent by the ADOPTING controller in the plan; as a modeling
+  // simplification the coordinator instructs peers instantly through the
+  // synchronized data store (the paper's controllers share a logically
+  // centralized view), so the mods originate at the adopter's endpoint —
+  // but only if the adopter is this node or an unsuspected peer.
+  for (const auto& [sw, adopter] : plan.mapping) {
+    Message role;
+    role.from = controller_endpoint(*net_, adopter);
+    role.to = switch_endpoint(sw);
+    role.body = RoleRequest{adopter};
+    channel_->send(role);
+  }
+  for (const auto& [sw, flow] : plan.sdn_assignments) {
+    const sdwan::ControllerId adopter = plan.controller_of_assignment(
+        sw, flow);
+    const auto& f = net_->flow(flow);
+    // The entry pins the flow at this switch to its current next hop
+    // (programmability = the controller can now change it).
+    sdwan::SwitchId next_hop = -1;
+    for (std::size_t i = 0; i + 1 < f.path.size(); ++i) {
+      if (f.path[i] == sw) {
+        next_hop = f.path[i + 1];
+        break;
+      }
+    }
+    if (next_hop < 0) continue;  // switch is the path's last node
+    Message mod;
+    mod.from = controller_endpoint(*net_, adopter);
+    mod.to = switch_endpoint(sw);
+    FlowMod body;
+    body.entry = {10, {f.src, f.dst}, next_hop};
+    body.xid = shared_->next_xid++;
+    mod.body = body;
+    shared_->pending_acks.insert(body.xid);
+    channel_->send(mod, plan.middle_layer_ms);
+  }
+  installed_plan_ = std::move(plan);
+  if (shared_->pending_acks.empty()) shared_->converged_at = queue_->now();
+}
+
+void ControllerNode::on_message(const Message& m) {
+  if (!alive_) return;
+  if (const auto* hb = std::get_if<Heartbeat>(&m.body)) {
+    last_heard_[hb->from] = queue_->now();
+    return;
+  }
+  if (const auto* ack = std::get_if<FlowModAck>(&m.body)) {
+    shared_->pending_acks.erase(ack->xid);
+    if (shared_->wave_active && shared_->pending_acks.empty() &&
+        shared_->converged_at < 0) {
+      shared_->converged_at = queue_->now();
+    }
+    return;
+  }
+  // RoleReplies are informational here.
+}
+
+}  // namespace pm::ctrl

@@ -1,0 +1,110 @@
+// Controller-side protocol agent.
+//
+// Every live controller beacons heartbeats to its peers and runs a
+// timeout-based failure detector over them. When the detector fires, the
+// lowest-id live controller acts as recovery coordinator: it derives the
+// FailureState for the cumulative failed set, asks the pluggable
+// RecoveryPolicy for a plan (seeding it with the previous plan, so
+// successive failures are handled incrementally), and distributes the
+// plan — RoleRequests to adopted switches followed by one FlowMod per SDN
+// assignment, all over the control channel with real propagation delays.
+// Convergence is tracked through the switches' acks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/recovery_plan.hpp"
+#include "ctrl/channel.hpp"
+#include "ctrl/switch_agent.hpp"
+#include "sim/event_queue.hpp"
+
+namespace pm::ctrl {
+
+/// Computes a plan for the failure state; `previous` is the last plan the
+/// coordinator installed (nullptr on the first failure).
+using RecoveryPolicy = std::function<core::RecoveryPlan(
+    const sdwan::FailureState&, const core::RecoveryPlan* previous)>;
+
+struct ControllerConfig {
+  double heartbeat_interval_ms = 50.0;
+  double detection_timeout_ms = 200.0;
+};
+
+/// The controllers' logically centralized data store (the paper's control
+/// plane synchronizes state across controllers): outstanding flow-mod
+/// acks of the current recovery wave, shared by every ControllerNode so
+/// an adopter's ack completes the coordinator's wave.
+struct SharedRecoveryState {
+  std::set<std::uint64_t> pending_acks;
+  std::uint64_t next_xid = 1;
+  double converged_at = -1.0;
+  bool wave_active = false;
+};
+
+class ControllerNode {
+ public:
+  ControllerNode(const sdwan::Network& net, sdwan::ControllerId id,
+                 ControlChannel& channel, sim::EventQueue& queue,
+                 SharedRecoveryState& shared, RecoveryPolicy policy,
+                 ControllerConfig config);
+
+  sdwan::ControllerId id() const { return id_; }
+  bool alive() const { return alive_; }
+
+  /// Attach to the channel and start heartbeating/detecting.
+  void start();
+
+  /// Crash: stop heartbeats, detach from the channel. (Silent — peers
+  /// find out via the detector.)
+  void fail();
+
+  /// Controllers this node currently believes dead.
+  const std::set<sdwan::ControllerId>& suspected() const {
+    return suspected_;
+  }
+
+  /// Time the detector first fired (relative to the queue clock); -1 if
+  /// it never fired.
+  double first_detection_at() const { return first_detection_at_; }
+
+  /// When the latest recovery wave finished (every flow-mod acked);
+  /// -1 while not converged. Shared across controllers.
+  double converged_at() const { return shared_->converged_at; }
+
+  /// The plan this node last installed as coordinator (if any).
+  const std::optional<core::RecoveryPlan>& installed_plan() const {
+    return installed_plan_;
+  }
+
+  std::uint64_t recoveries_run() const { return recoveries_run_; }
+
+ private:
+  void on_message(const Message& m);
+  void beat();
+  void check_peers();
+  void run_recovery();
+
+  const sdwan::Network* net_;
+  sdwan::ControllerId id_;
+  ControlChannel* channel_;
+  sim::EventQueue* queue_;
+  SharedRecoveryState* shared_;
+  RecoveryPolicy policy_;
+  ControllerConfig config_;
+
+  bool alive_ = false;
+  std::uint64_t sequence_ = 0;
+  std::map<sdwan::ControllerId, double> last_heard_;
+  std::set<sdwan::ControllerId> suspected_;
+  double first_detection_at_ = -1.0;
+
+  std::optional<core::RecoveryPlan> installed_plan_;
+  std::uint64_t recoveries_run_ = 0;
+};
+
+}  // namespace pm::ctrl

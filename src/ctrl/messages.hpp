@@ -1,0 +1,64 @@
+// Control-plane message vocabulary — an OpenFlow-flavoured protocol for
+// the message-level simulation in pm::ctrl.
+//
+// Endpoints are switches and controllers on one id space: switch s keeps
+// its topology node id; controller j gets switch_count + j. Messages are
+// plain data; the channel (channel.hpp) delivers them with propagation
+// delay and the agents (switch_agent.hpp, controller.hpp) react.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "sdwan/hybrid_switch.hpp"
+#include "sdwan/types.hpp"
+
+namespace pm::ctrl {
+
+using EndpointId = int;
+
+/// Controller -> controller liveness beacon.
+struct Heartbeat {
+  sdwan::ControllerId from = -1;
+  std::uint64_t sequence = 0;
+};
+
+/// Controller -> switch: become (or stop being) my subordinate.
+struct RoleRequest {
+  sdwan::ControllerId controller = -1;
+};
+
+/// Switch -> controller: role accepted.
+struct RoleReply {
+  sdwan::SwitchId sw = -1;
+  sdwan::ControllerId accepted = -1;
+};
+
+/// Controller -> switch: install or remove one flow entry.
+struct FlowMod {
+  sdwan::FlowEntry entry;
+  bool remove = false;
+  /// Correlates the ack; also used to count convergence.
+  std::uint64_t xid = 0;
+};
+
+/// Switch -> controller: flow-mod applied (barrier semantics).
+struct FlowModAck {
+  sdwan::SwitchId sw = -1;
+  std::uint64_t xid = 0;
+};
+
+using MessageBody =
+    std::variant<Heartbeat, RoleRequest, RoleReply, FlowMod, FlowModAck>;
+
+struct Message {
+  EndpointId from = -1;
+  EndpointId to = -1;
+  MessageBody body;
+};
+
+/// Human-readable tag for traces ("heartbeat", "flow-mod", ...).
+std::string message_kind(const Message& m);
+
+}  // namespace pm::ctrl

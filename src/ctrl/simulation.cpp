@@ -1,0 +1,85 @@
+#include "ctrl/simulation.hpp"
+
+#include <set>
+
+namespace pm::ctrl {
+
+ControlSimulation::ControlSimulation(const sdwan::Network& net,
+                                     RecoveryPolicy policy,
+                                     ControllerConfig config)
+    : net_(&net),
+      channel_(net, queue_),
+      dataplane_(net.topology(), sdwan::RoutingMode::kHybrid) {
+  for (int s = 0; s < net.switch_count(); ++s) {
+    switches_.push_back(
+        std::make_unique<SwitchAgent>(s, dataplane_.at(s), channel_));
+    switches_.back()->attach();
+  }
+  for (sdwan::ControllerId j = 0; j < net.controller_count(); ++j) {
+    controllers_.push_back(std::make_unique<ControllerNode>(
+        net, j, channel_, queue_, shared_, policy, config));
+  }
+  // Normal operation: every switch mastered by its domain controller.
+  for (int s = 0; s < net.switch_count(); ++s) {
+    const sdwan::ControllerId j = net.controller_of(s);
+    switches_[static_cast<std::size_t>(s)]->set_initial_master(
+        j, controller_endpoint(net, j));
+  }
+  for (auto& c : controllers_) c->start();
+}
+
+void ControlSimulation::fail_controller_at(sdwan::ControllerId j,
+                                           double at_ms) {
+  queue_.schedule_at(at_ms, [this, j] {
+    controllers_[static_cast<std::size_t>(j)]->fail();
+    for (sdwan::SwitchId s : net_->controller(j).domain) {
+      switches_[static_cast<std::size_t>(s)]->orphan();
+    }
+  });
+}
+
+SimulationReport ControlSimulation::run(double until_ms) {
+  queue_.run(until_ms);
+
+  SimulationReport report;
+  report.messages_sent = channel_.messages_sent();
+  report.messages_by_kind = channel_.sent_by_kind();
+  for (const auto& c : controllers_) {
+    if (!c->alive()) continue;
+    if (c->first_detection_at() >= 0 &&
+        (report.detected_at < 0 ||
+         c->first_detection_at() < report.detected_at)) {
+      report.detected_at = c->first_detection_at();
+    }
+    report.recovery_waves += c->recoveries_run();
+  }
+  report.converged_at = shared_.converged_at;
+
+  // Data-plane audit.
+  std::set<sdwan::FlowId> flows_with_entries;
+  for (const auto& f : net_->flows()) {
+    const auto trace = dataplane_.trace(f.src, {f.src, f.dst});
+    if (&f == &net_->flows().front()) {
+      report.all_flows_deliverable = trace.delivered;
+    } else {
+      report.all_flows_deliverable &= trace.delivered;
+    }
+  }
+  for (int s = 0; s < net_->switch_count(); ++s) {
+    if (dataplane_.at(s).flow_table_size() > 0) {
+      for (const auto& f : net_->flows()) {
+        const auto r = dataplane_.at(s).lookup({f.src, f.dst});
+        if (r.matched_flow_table) flows_with_entries.insert(f.id);
+      }
+    }
+    const auto& agent = *switches_[static_cast<std::size_t>(s)];
+    if (agent.master() >= 0 &&
+        agent.master() != net_->controller_of(s)) {
+      ++report.adopted_switches;
+    }
+  }
+  report.flows_with_entries = flows_with_entries.size();
+  return report;
+}
+
+}  // namespace pm::ctrl

@@ -1,0 +1,51 @@
+#include "ctrl/switch_agent.hpp"
+
+namespace pm::ctrl {
+
+EndpointId controller_endpoint(const sdwan::Network& net,
+                               sdwan::ControllerId j) {
+  return net.switch_count() + j;
+}
+
+SwitchAgent::SwitchAgent(sdwan::SwitchId id, sdwan::HybridSwitch& sw,
+                         ControlChannel& channel)
+    : id_(id), switch_(&sw), channel_(&channel) {}
+
+void SwitchAgent::attach() {
+  channel_->attach(switch_endpoint(id_), id_,
+                   [this](const Message& m) { on_message(m); });
+}
+
+void SwitchAgent::on_message(const Message& m) {
+  if (const auto* role = std::get_if<RoleRequest>(&m.body)) {
+    master_ = role->controller;
+    master_endpoint_ = m.from;
+    Message reply;
+    reply.from = switch_endpoint(id_);
+    reply.to = m.from;
+    reply.body = RoleReply{id_, master_};
+    channel_->send(reply);
+    return;
+  }
+  if (const auto* mod = std::get_if<FlowMod>(&m.body)) {
+    // Only the master may program the switch (OpenFlow master role).
+    // A mod from anyone else is silently ignored (no ack), which lets
+    // the harness detect misbehaving plans by non-convergence.
+    if (m.from != master_endpoint_) return;
+    if (mod->remove) {
+      switch_->remove(mod->entry.match);
+    } else {
+      switch_->install(mod->entry);
+    }
+    ++flow_mods_applied_;
+    Message ack;
+    ack.from = switch_endpoint(id_);
+    ack.to = m.from;
+    ack.body = FlowModAck{id_, mod->xid};
+    channel_->send(ack);
+    return;
+  }
+  // Heartbeats / replies are controller-to-controller; ignore.
+}
+
+}  // namespace pm::ctrl

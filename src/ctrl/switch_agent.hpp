@@ -1,0 +1,59 @@
+// Switch-side protocol agent: owns one HybridSwitch of the data plane and
+// reacts to control messages — RoleRequest changes its master controller,
+// FlowMod installs/removes entries (acked, barrier-style). A switch whose
+// master is gone keeps forwarding with whatever tables it has (that is
+// the whole premise of hybrid recovery: the legacy table keeps working).
+#pragma once
+
+#include "ctrl/channel.hpp"
+#include "ctrl/messages.hpp"
+#include "sdwan/hybrid_switch.hpp"
+
+namespace pm::ctrl {
+
+class SwitchAgent {
+ public:
+  /// `sw` must outlive the agent (it lives in the shared Dataplane).
+  SwitchAgent(sdwan::SwitchId id, sdwan::HybridSwitch& sw,
+              ControlChannel& channel);
+
+  sdwan::SwitchId id() const { return id_; }
+
+  /// Current master controller, or -1 when orphaned.
+  sdwan::ControllerId master() const { return master_; }
+
+  void set_initial_master(sdwan::ControllerId j, EndpointId endpoint) {
+    master_ = j;
+    master_endpoint_ = endpoint;
+  }
+
+  /// Marks the master as dead (the agent itself has no failure detector;
+  /// the simulation harness informs it, modeling the OpenFlow channel
+  /// teardown). Tables are untouched.
+  void orphan() {
+    master_ = -1;
+    master_endpoint_ = -1;
+  }
+
+  std::uint64_t flow_mods_applied() const { return flow_mods_applied_; }
+
+  /// Wire this agent's handler into the channel.
+  void attach();
+
+ private:
+  void on_message(const Message& m);
+
+  sdwan::SwitchId id_;
+  sdwan::HybridSwitch* switch_;
+  ControlChannel* channel_;
+  sdwan::ControllerId master_ = -1;
+  EndpointId master_endpoint_ = -1;
+  std::uint64_t flow_mods_applied_ = 0;
+};
+
+/// Endpoint id helpers shared by agents and the harness.
+inline EndpointId switch_endpoint(sdwan::SwitchId s) { return s; }
+EndpointId controller_endpoint(const sdwan::Network& net,
+                               sdwan::ControllerId j);
+
+}  // namespace pm::ctrl

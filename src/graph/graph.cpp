@@ -1,0 +1,89 @@
+#include "graph/graph.hpp"
+
+#include <queue>
+#include <string>
+
+namespace pm::graph {
+
+Graph::Graph(int node_count) {
+  if (node_count < 0) {
+    throw std::invalid_argument("node_count must be nonnegative");
+  }
+  adj_.resize(static_cast<std::size_t>(node_count));
+}
+
+void Graph::check_node(NodeId u) const {
+  if (u < 0 || u >= node_count()) {
+    throw std::invalid_argument("node id " + std::to_string(u) +
+                                " out of range [0, " +
+                                std::to_string(node_count()) + ")");
+  }
+}
+
+void Graph::add_edge(NodeId u, NodeId v, double w) {
+  check_node(u);
+  check_node(v);
+  if (u == v) throw std::invalid_argument("self-loops are not allowed");
+  if (w < 0.0) throw std::invalid_argument("negative edge weight");
+  if (has_edge(u, v)) {
+    throw std::invalid_argument("duplicate edge {" + std::to_string(u) +
+                                ", " + std::to_string(v) + "}");
+  }
+  edges_.emplace(key(u, v), w);
+  adj_[static_cast<std::size_t>(u)].push_back({v, w});
+  adj_[static_cast<std::size_t>(v)].push_back({u, w});
+  edge_list_.push_back({std::min(u, v), std::max(u, v), w});
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  return edges_.contains(key(u, v));
+}
+
+double Graph::edge_weight(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  const auto it = edges_.find(key(u, v));
+  if (it == edges_.end()) {
+    throw std::out_of_range("edge {" + std::to_string(u) + ", " +
+                            std::to_string(v) + "} not present");
+  }
+  return it->second;
+}
+
+const std::vector<Arc>& Graph::neighbors(NodeId u) const {
+  check_node(u);
+  return adj_[static_cast<std::size_t>(u)];
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  const auto hops = hop_distances(g, 0);
+  for (int h : hops) {
+    if (h < 0) return false;
+  }
+  return true;
+}
+
+std::vector<int> hop_distances(const Graph& g, NodeId src) {
+  g.check_node(src);
+  std::vector<int> dist(static_cast<std::size_t>(g.node_count()), -1);
+  std::queue<NodeId> q;
+  dist[static_cast<std::size_t>(src)] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const Arc& a : g.neighbors(u)) {
+      auto& d = dist[static_cast<std::size_t>(a.to)];
+      if (d < 0) {
+        d = dist[static_cast<std::size_t>(u)] + 1;
+        q.push(a.to);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace pm::graph

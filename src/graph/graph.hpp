@@ -1,0 +1,78 @@
+// Undirected weighted graph used for WAN backbones.
+//
+// Nodes are dense integer ids [0, node_count). Edge weights model
+// propagation delay (or any nonnegative cost); hop-based algorithms ignore
+// them. The graph is deliberately simple — WAN topologies are tiny (tens of
+// nodes), so adjacency lists plus an edge map cover every access pattern the
+// algorithms need.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace pm::graph {
+
+using NodeId = int;
+
+/// One directed half of an undirected edge as seen from its endpoint.
+struct Arc {
+  NodeId to = 0;
+  double weight = 1.0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int node_count);
+
+  int node_count() const { return static_cast<int>(adj_.size()); }
+
+  /// Number of undirected edges.
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Adds the undirected edge {u, v} with weight `w`.
+  /// Throws std::invalid_argument on self-loops, duplicate edges,
+  /// out-of-range endpoints or negative weight.
+  void add_edge(NodeId u, NodeId v, double w = 1.0);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Weight of edge {u, v}; throws std::out_of_range if absent.
+  double edge_weight(NodeId u, NodeId v) const;
+
+  const std::vector<Arc>& neighbors(NodeId u) const;
+
+  /// All undirected edges as (u, v, weight) with u < v, in insertion order.
+  struct EdgeRecord {
+    NodeId u = 0;
+    NodeId v = 0;
+    double weight = 1.0;
+  };
+  const std::vector<EdgeRecord>& edges() const { return edge_list_; }
+
+  int degree(NodeId u) const {
+    return static_cast<int>(neighbors(u).size());
+  }
+
+  void check_node(NodeId u) const;
+
+ private:
+  static std::pair<NodeId, NodeId> key(NodeId u, NodeId v) {
+    return u < v ? std::pair{u, v} : std::pair{v, u};
+  }
+
+  std::vector<std::vector<Arc>> adj_;
+  std::map<std::pair<NodeId, NodeId>, double> edges_;
+  std::vector<EdgeRecord> edge_list_;
+};
+
+/// True if every node is reachable from node 0 (or the graph is empty).
+bool is_connected(const Graph& g);
+
+/// Hop counts from `src` to every node by BFS; unreachable nodes get -1.
+std::vector<int> hop_distances(const Graph& g, NodeId src);
+
+}  // namespace pm::graph

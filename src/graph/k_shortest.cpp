@@ -1,0 +1,122 @@
+#include "graph/k_shortest.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "graph/shortest_path.hpp"
+
+namespace pm::graph {
+
+namespace {
+
+/// Dijkstra on `g` with some edges and nodes masked out.
+std::vector<NodeId> masked_shortest_path(
+    const Graph& g, NodeId src, NodeId dst,
+    const std::set<std::pair<NodeId, NodeId>>& removed_edges,
+    const std::vector<char>& removed_nodes) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<NodeId> parent(n, -1);
+  std::vector<char> settled(n, 0);
+  if (removed_nodes[static_cast<std::size_t>(src)]) return {};
+
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  pq.push({0.0, src});
+  auto edge_key = [](NodeId a, NodeId b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  };
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    auto& done = settled[static_cast<std::size_t>(u)];
+    if (done) continue;
+    done = 1;
+    for (const Arc& a : g.neighbors(u)) {
+      if (removed_nodes[static_cast<std::size_t>(a.to)]) continue;
+      if (removed_edges.contains(edge_key(u, a.to))) continue;
+      const auto vi = static_cast<std::size_t>(a.to);
+      const double nd = d + a.weight;
+      if (nd < dist[vi] || (nd == dist[vi] && parent[vi] > u)) {
+        dist[vi] = nd;
+        parent[vi] = u;
+        pq.push({nd, a.to});
+      }
+    }
+  }
+  if (dist[static_cast<std::size_t>(dst)] == kInf) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = dst; v != -1; v = parent[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> k_shortest_paths(const Graph& g, NodeId src,
+                                                  NodeId dst, int k) {
+  g.check_node(src);
+  g.check_node(dst);
+  std::vector<std::vector<NodeId>> result;
+  if (k <= 0) return result;
+  if (src == dst) return {{src}};
+
+  auto first = shortest_path(g, src, dst);
+  if (first.empty()) return result;
+  result.push_back(std::move(first));
+
+  // Candidate set ordered by (length, node sequence).
+  auto cmp = [&g](const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+    const double la = path_length(g, a);
+    const double lb = path_length(g, b);
+    if (la != lb) return la < lb;
+    return a < b;
+  };
+  std::set<std::vector<NodeId>, decltype(cmp)> candidates(cmp);
+
+  while (static_cast<int>(result.size()) < k) {
+    const auto& prev = result.back();
+    // Spur from every node of the previous path except the last.
+    for (std::size_t spur_idx = 0; spur_idx + 1 < prev.size(); ++spur_idx) {
+      const NodeId spur = prev[spur_idx];
+      std::vector<NodeId> root(prev.begin(),
+                               prev.begin() + static_cast<long>(spur_idx) + 1);
+
+      std::set<std::pair<NodeId, NodeId>> removed_edges;
+      for (const auto& p : result) {
+        if (p.size() > spur_idx + 1 &&
+            std::equal(root.begin(), root.end(), p.begin())) {
+          const NodeId a = p[spur_idx];
+          const NodeId b = p[spur_idx + 1];
+          removed_edges.insert(a < b ? std::pair{a, b} : std::pair{b, a});
+        }
+      }
+      std::vector<char> removed_nodes(
+          static_cast<std::size_t>(g.node_count()), 0);
+      for (std::size_t i = 0; i < spur_idx; ++i) {
+        removed_nodes[static_cast<std::size_t>(prev[i])] = 1;
+      }
+
+      auto spur_path = masked_shortest_path(g, spur, dst, removed_edges,
+                                            removed_nodes);
+      if (spur_path.empty()) continue;
+      root.pop_back();  // spur node is the head of spur_path
+      root.insert(root.end(), spur_path.begin(), spur_path.end());
+      if (std::find(result.begin(), result.end(), root) == result.end()) {
+        candidates.insert(std::move(root));
+      }
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+}  // namespace pm::graph

@@ -1,0 +1,20 @@
+// Yen's algorithm for k shortest loopless paths.
+//
+// Used by the rerouting examples (a programmable flow picks among its k
+// best paths) and as an independent cross-check for the path-diversity
+// counters in tests.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pm::graph {
+
+/// Up to `k` loopless paths src -> dst ordered by increasing weighted
+/// length (ties broken lexicographically by node sequence). Fewer than `k`
+/// are returned when the graph does not contain that many simple paths.
+std::vector<std::vector<NodeId>> k_shortest_paths(const Graph& g, NodeId src,
+                                                  NodeId dst, int k);
+
+}  // namespace pm::graph

@@ -1,0 +1,114 @@
+#include "graph/path_count.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pm::graph {
+
+namespace {
+
+/// DFS state for bounded simple-path counting.
+struct Counter {
+  const Graph& g;
+  NodeId dst;
+  std::int64_t cap;
+  std::vector<int> dist_to_dst;  // BFS hops to dst, for pruning
+  std::vector<char> on_path;
+  std::int64_t total = 0;
+
+  void dfs(NodeId u, int budget) {
+    if (total >= cap) return;
+    if (u == dst) {
+      ++total;
+      return;
+    }
+    const int lower_bound = dist_to_dst[static_cast<std::size_t>(u)];
+    if (lower_bound < 0 || lower_bound > budget) return;  // cannot reach
+    on_path[static_cast<std::size_t>(u)] = 1;
+    for (const Arc& a : g.neighbors(u)) {
+      if (!on_path[static_cast<std::size_t>(a.to)]) {
+        dfs(a.to, budget - 1);
+      }
+    }
+    on_path[static_cast<std::size_t>(u)] = 0;
+  }
+};
+
+}  // namespace
+
+std::int64_t count_paths_bounded(const Graph& g, NodeId src, NodeId dst,
+                                 int max_hops, std::int64_t cap) {
+  g.check_node(src);
+  g.check_node(dst);
+  if (src == dst) return 1;  // the empty path
+  if (max_hops <= 0) return 0;
+  Counter c{g, dst, cap, hop_distances(g, dst),
+            std::vector<char>(static_cast<std::size_t>(g.node_count()), 0),
+            0};
+  c.dfs(src, max_hops);
+  return std::min(c.total, cap);
+}
+
+std::int64_t count_shortest_paths(const Graph& g, NodeId src, NodeId dst) {
+  g.check_node(src);
+  g.check_node(dst);
+  if (src == dst) return 1;
+  const auto dist = hop_distances(g, src);
+  const int d_dst = dist[static_cast<std::size_t>(dst)];
+  if (d_dst < 0) return 0;
+
+  // Process nodes in increasing BFS distance; count paths over the DAG of
+  // edges that go from distance d to d+1.
+  std::vector<NodeId> order(static_cast<std::size_t>(g.node_count()));
+  for (int i = 0; i < g.node_count(); ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return dist[static_cast<std::size_t>(a)] < dist[static_cast<std::size_t>(b)];
+  });
+
+  std::vector<std::int64_t> ways(static_cast<std::size_t>(g.node_count()), 0);
+  ways[static_cast<std::size_t>(src)] = 1;
+  for (NodeId u : order) {
+    const int du = dist[static_cast<std::size_t>(u)];
+    if (du < 0 || ways[static_cast<std::size_t>(u)] == 0) continue;
+    for (const Arc& a : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(a.to)] == du + 1) {
+        ways[static_cast<std::size_t>(a.to)] +=
+            ways[static_cast<std::size_t>(u)];
+      }
+    }
+  }
+  return ways[static_cast<std::size_t>(dst)];
+}
+
+std::int64_t count_progress_next_hops(const Graph& g, NodeId src, NodeId dst) {
+  g.check_node(src);
+  g.check_node(dst);
+  if (src == dst) return 0;
+  const auto dist = hop_distances(g, dst);
+  const int d_src = dist[static_cast<std::size_t>(src)];
+  if (d_src < 0) return 0;
+  std::int64_t n = 0;
+  for (const Arc& a : g.neighbors(src)) {
+    const int d_nh = dist[static_cast<std::size_t>(a.to)];
+    if (d_nh >= 0 && d_nh <= d_src) ++n;
+  }
+  return n;
+}
+
+std::int64_t path_diversity(const Graph& g, NodeId src, NodeId dst,
+                            const PathCountOptions& options) {
+  switch (options.policy) {
+    case PathCountPolicy::kShortestPathDag:
+      return count_shortest_paths(g, src, dst);
+    case PathCountPolicy::kNextHopCount:
+      return count_progress_next_hops(g, src, dst);
+    case PathCountPolicy::kBoundedSimplePaths:
+      break;
+  }
+  const auto dist = hop_distances(g, dst);
+  const int d = dist[static_cast<std::size_t>(src)];
+  if (src != dst && d < 0) return 0;
+  return count_paths_bounded(g, src, dst, d + options.slack, options.cap);
+}
+
+}  // namespace pm::graph

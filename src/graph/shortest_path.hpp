@@ -1,0 +1,39 @@
+// Dijkstra shortest paths with deterministic tie-breaking.
+//
+// Flow forwarding paths must be reproducible across runs and platforms, so
+// ties on distance are broken toward the lexicographically smallest path
+// (smallest predecessor id). OSPF implementations break ECMP ties by
+// similar deterministic rules.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pm::graph {
+
+struct DijkstraResult {
+  /// dist[v]: weighted distance from the source; infinity if unreachable.
+  std::vector<double> dist;
+  /// parent[v]: predecessor on the chosen shortest path; -1 for the source
+  /// and for unreachable nodes.
+  std::vector<NodeId> parent;
+};
+
+/// Single-source shortest paths from `src` over nonnegative edge weights.
+DijkstraResult dijkstra(const Graph& g, NodeId src);
+
+/// The deterministic shortest path src -> dst as a node sequence
+/// (inclusive of both endpoints). Empty if dst is unreachable.
+/// A path from a node to itself is the single-node sequence {src}.
+std::vector<NodeId> shortest_path(const Graph& g, NodeId src, NodeId dst);
+
+/// Reconstructs the path to `dst` from a DijkstraResult computed at some
+/// source. Empty if unreachable.
+std::vector<NodeId> extract_path(const DijkstraResult& r, NodeId dst);
+
+/// Sum of edge weights along `path` in `g`. Throws if the path uses a
+/// nonexistent edge. A path of fewer than 2 nodes has length 0.
+double path_length(const Graph& g, const std::vector<NodeId>& path);
+
+}  // namespace pm::graph

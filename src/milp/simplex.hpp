@@ -1,0 +1,56 @@
+// Bounded-variable two-phase primal revised simplex.
+//
+// Solves the LP relaxation of a Model (integrality ignored):
+//
+//     min / max  c x
+//     s.t.       A x {<=, >=, =} b,   l <= x <= u
+//
+// Implementation notes:
+//  * Revised simplex with a dense explicit basis inverse, refactorized
+//    periodically by Gauss-Jordan for numerical hygiene. Constraint
+//    columns stay sparse, so pricing is cheap even for the FMSSM-sized
+//    instances (thousands of columns).
+//  * Variable bounds are handled implicitly (nonbasic variables rest at a
+//    finite bound and may "bound-flip"), so binaries do not inflate the
+//    row count.
+//  * Phase 1 minimizes the sum of one artificial per row; leftover basic
+//    artificials are pinned to [0, 0] for phase 2.
+//  * Dantzig pricing with a Bland's-rule fallback after a run of
+//    degenerate pivots, which guarantees termination.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "milp/model.hpp"
+
+namespace pm::milp {
+
+struct SimplexOptions {
+  int max_iterations = 50000;  ///< across both phases.
+  double tol = 1e-7;           ///< feasibility/optimality tolerance.
+  int refactor_every = 500;    ///< basis-inverse rebuild period.
+};
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  /// Objective in the model's own sense; meaningful for kOptimal.
+  double objective = 0.0;
+  /// Values of the model's structural variables; meaningful for kOptimal.
+  std::vector<double> x;
+  int iterations = 0;
+};
+
+std::string to_string(LpStatus status);
+
+/// Solves the LP relaxation of `model`.
+LpResult solve_lp(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace pm::milp

@@ -1,0 +1,54 @@
+#include "sdwan/dataplane.hpp"
+
+#include <stdexcept>
+
+namespace pm::sdwan {
+
+Dataplane::Dataplane(const topo::Topology& topo, RoutingMode initial_mode) {
+  auto legacy = compute_legacy_tables(topo.graph());
+  switches_.reserve(legacy.size());
+  for (std::size_t s = 0; s < legacy.size(); ++s) {
+    switches_.emplace_back(static_cast<SwitchId>(s), initial_mode,
+                           std::move(legacy[s]));
+  }
+}
+
+HybridSwitch& Dataplane::at(SwitchId id) {
+  if (id < 0 || id >= switch_count()) throw std::out_of_range("switch id");
+  return switches_[static_cast<std::size_t>(id)];
+}
+
+const HybridSwitch& Dataplane::at(SwitchId id) const {
+  if (id < 0 || id >= switch_count()) throw std::out_of_range("switch id");
+  return switches_[static_cast<std::size_t>(id)];
+}
+
+TraceResult Dataplane::trace(SwitchId ingress, const Packet& packet) const {
+  TraceResult result;
+  std::vector<char> visited(switches_.size(), 0);
+  SwitchId current = ingress;
+  const int ttl = 4 * switch_count();
+  for (int step = 0; step <= ttl; ++step) {
+    result.hops.push_back(current);
+    if (current == packet.dst) {
+      result.delivered = true;
+      return result;
+    }
+    if (visited[static_cast<std::size_t>(current)]) {
+      result.failure_reason =
+          "forwarding loop at " + std::to_string(current);
+      return result;
+    }
+    visited[static_cast<std::size_t>(current)] = 1;
+    const LookupResult hop = at(current).lookup(packet);
+    if (!hop.next_hop) {
+      result.failure_reason = "dropped at " + std::to_string(current);
+      return result;
+    }
+    current = *hop.next_hop;
+  }
+  result.failure_reason = "ttl exceeded";
+  return result;
+}
+
+}  // namespace pm::sdwan

@@ -1,0 +1,44 @@
+// A whole-network data plane built from HybridSwitch instances. Used by
+// the hybrid-routing demo and by integration tests to check that a
+// recovery plan's mode assignments actually forward packets end-to-end.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sdwan/hybrid_switch.hpp"
+#include "topo/topology.hpp"
+
+namespace pm::sdwan {
+
+/// Outcome of tracing one packet through the data plane.
+struct TraceResult {
+  /// Visited switches, starting at the ingress. On success the last entry
+  /// is the destination.
+  std::vector<SwitchId> hops;
+  bool delivered = false;
+  /// Human-readable reason when not delivered ("dropped at 7",
+  /// "forwarding loop at 3", "ttl exceeded").
+  std::string failure_reason;
+};
+
+class Dataplane {
+ public:
+  /// Builds one switch per topology node, all in `initial_mode`, with
+  /// legacy tables precomputed from the topology's link-state view.
+  explicit Dataplane(const topo::Topology& topo,
+                     RoutingMode initial_mode = RoutingMode::kHybrid);
+
+  int switch_count() const { return static_cast<int>(switches_.size()); }
+  HybridSwitch& at(SwitchId id);
+  const HybridSwitch& at(SwitchId id) const;
+
+  /// Forwards a packet from `ingress` until delivery, drop, loop, or TTL
+  /// exhaustion (TTL = 4 * switch_count, ample for simple paths).
+  TraceResult trace(SwitchId ingress, const Packet& packet) const;
+
+ private:
+  std::vector<HybridSwitch> switches_;
+};
+
+}  // namespace pm::sdwan

@@ -1,0 +1,176 @@
+#include "sdwan/failure.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace pm::sdwan {
+
+std::string FailureScenario::label(const Network& net) const {
+  std::string out = "(";
+  for (std::size_t k = 0; k < failed.size(); ++k) {
+    if (k > 0) out += ", ";
+    out += std::to_string(net.controller(failed[k]).location);
+  }
+  out += ")";
+  return out;
+}
+
+std::vector<FailureScenario> enumerate_failures(const Network& net, int k) {
+  const int m = net.controller_count();
+  if (k < 0 || k > m) {
+    throw std::invalid_argument("cannot fail " + std::to_string(k) + " of " +
+                                std::to_string(m) + " controllers");
+  }
+  std::vector<FailureScenario> out;
+  std::vector<ControllerId> combo(static_cast<std::size_t>(k));
+  // Iterative combination enumeration in lexicographic order.
+  for (int i = 0; i < k; ++i) combo[static_cast<std::size_t>(i)] = i;
+  if (k == 0) {
+    out.push_back({});
+    return out;
+  }
+  while (true) {
+    out.push_back({combo});
+    int pos = k - 1;
+    while (pos >= 0 &&
+           combo[static_cast<std::size_t>(pos)] == m - k + pos) {
+      --pos;
+    }
+    if (pos < 0) break;
+    ++combo[static_cast<std::size_t>(pos)];
+    for (int i = pos + 1; i < k; ++i) {
+      combo[static_cast<std::size_t>(i)] =
+          combo[static_cast<std::size_t>(i - 1)] + 1;
+    }
+  }
+  return out;
+}
+
+FailureState::FailureState(const Network& net, FailureScenario scenario)
+    : net_(&net), scenario_(std::move(scenario)) {
+  const int m = net.controller_count();
+  active_mask_.assign(static_cast<std::size_t>(m), 1);
+  for (ControllerId j : scenario_.failed) {
+    if (j < 0 || j >= m) throw std::invalid_argument("bad controller id");
+    if (!active_mask_[static_cast<std::size_t>(j)]) {
+      throw std::invalid_argument("duplicate failed controller");
+    }
+    active_mask_[static_cast<std::size_t>(j)] = 0;
+  }
+  std::sort(scenario_.failed.begin(), scenario_.failed.end());
+
+  offline_switch_mask_.assign(static_cast<std::size_t>(net.switch_count()),
+                              0);
+  for (ControllerId j = 0; j < m; ++j) {
+    if (active_mask_[static_cast<std::size_t>(j)]) {
+      active_.push_back(j);
+    } else {
+      for (SwitchId s : net.controller(j).domain) {
+        offline_switch_mask_[static_cast<std::size_t>(s)] = 1;
+        offline_.push_back(s);
+      }
+    }
+  }
+  std::sort(offline_.begin(), offline_.end());
+  if (active_.empty() && !scenario_.failed.empty()) {
+    throw std::invalid_argument(
+        "all controllers failed: nothing can recover the network");
+  }
+
+  // Residual capacities.
+  rest_capacity_.assign(static_cast<std::size_t>(m), 0.0);
+  for (ControllerId j : active_) {
+    rest_capacity_[static_cast<std::size_t>(j)] =
+        std::max(0.0, net.controller(j).capacity - net.normal_load(j));
+  }
+
+  // Offline flows and their recovery opportunities.
+  opportunities_.resize(static_cast<std::size_t>(net.flow_count()));
+  for (const Flow& f : net.flows()) {
+    bool offline = false;
+    int offline_on_path = 0;
+    for (SwitchId s : f.path) {
+      if (offline_switch_mask_[static_cast<std::size_t>(s)]) {
+        offline = true;
+        ++offline_on_path;
+      }
+    }
+    if (!offline) continue;
+    offline_flows_.push_back(f.id);
+    max_offline_on_path_ = std::max(max_offline_on_path_, offline_on_path);
+    auto& opps = opportunities_[static_cast<std::size_t>(f.id)];
+    for (std::size_t k = 0; k < f.path.size(); ++k) {
+      const SwitchId s = f.path[k];
+      if (!offline_switch_mask_[static_cast<std::size_t>(s)]) continue;
+      const std::int64_t p = net.diversity(f.id, s);
+      if (p >= 2) opps.push_back({s, p});
+    }
+    if (!opps.empty()) recoverable_flows_.push_back(f.id);
+  }
+
+  // G of Eq. (6).
+  for (SwitchId i : offline_) {
+    const ControllerId j = nearest_active_controller(i);
+    ideal_total_delay_ +=
+        static_cast<double>(gamma(i)) * net.delay_ms(i, j);
+  }
+}
+
+bool FailureState::is_offline_switch(SwitchId i) const {
+  net_->topology().graph().check_node(i);
+  return offline_switch_mask_[static_cast<std::size_t>(i)] != 0;
+}
+
+bool FailureState::is_active_controller(ControllerId j) const {
+  if (j < 0 || j >= net_->controller_count()) return false;
+  return active_mask_[static_cast<std::size_t>(j)] != 0;
+}
+
+double FailureState::rest_capacity(ControllerId j) const {
+  if (!is_active_controller(j)) {
+    throw std::invalid_argument("controller " + std::to_string(j) +
+                                " is not active");
+  }
+  return rest_capacity_[static_cast<std::size_t>(j)];
+}
+
+double FailureState::total_rest_capacity() const {
+  double total = 0.0;
+  for (ControllerId j : active_) {
+    total += rest_capacity_[static_cast<std::size_t>(j)];
+  }
+  return total;
+}
+
+const std::vector<FailureState::Opportunity>& FailureState::opportunities(
+    FlowId l) const {
+  if (l < 0 || l >= net_->flow_count()) throw std::out_of_range("flow id");
+  return opportunities_[static_cast<std::size_t>(l)];
+}
+
+std::vector<ControllerId> FailureState::controllers_by_delay(
+    SwitchId i) const {
+  std::vector<ControllerId> order = active_;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](ControllerId a, ControllerId b) {
+                     return net_->delay_ms(i, a) < net_->delay_ms(i, b);
+                   });
+  return order;
+}
+
+ControllerId FailureState::nearest_active_controller(SwitchId i) const {
+  if (active_.empty()) throw std::logic_error("no active controllers");
+  ControllerId best = active_.front();
+  double best_delay = net_->delay_ms(i, best);
+  for (ControllerId j : active_) {
+    const double d = net_->delay_ms(i, j);
+    if (d < best_delay) {
+      best = j;
+      best_delay = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace pm::sdwan

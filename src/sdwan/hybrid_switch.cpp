@@ -1,0 +1,43 @@
+#include "sdwan/hybrid_switch.hpp"
+
+#include <algorithm>
+
+namespace pm::sdwan {
+
+void HybridSwitch::install(FlowEntry entry) {
+  // Insert after the last entry with priority >= the new one, so equal
+  // priorities preserve installation order.
+  const auto pos = std::find_if(
+      flow_table_.begin(), flow_table_.end(),
+      [&](const FlowEntry& e) { return e.priority < entry.priority; });
+  flow_table_.insert(pos, entry);
+}
+
+std::size_t HybridSwitch::remove(const FlowMatch& match) {
+  const auto old_size = flow_table_.size();
+  std::erase_if(flow_table_, [&](const FlowEntry& e) {
+    return e.match.src == match.src && e.match.dst == match.dst;
+  });
+  return old_size - flow_table_.size();
+}
+
+LookupResult HybridSwitch::lookup(const Packet& packet) const {
+  const bool use_flow_table =
+      mode_ == RoutingMode::kSdn || mode_ == RoutingMode::kHybrid;
+  if (use_flow_table) {
+    for (const FlowEntry& e : flow_table_) {
+      if (e.match.matches(packet.src, packet.dst)) {
+        return {e.next_hop, true};
+      }
+    }
+    if (mode_ == RoutingMode::kSdn) {
+      return {std::nullopt, false};  // table-miss drop
+    }
+  }
+  // Legacy path (kLegacy, or kHybrid fall-through).
+  const SwitchId nh = legacy_.next_hop(packet.dst);
+  if (nh < 0) return {std::nullopt, false};
+  return {nh, false};
+}
+
+}  // namespace pm::sdwan

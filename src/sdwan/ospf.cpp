@@ -1,0 +1,40 @@
+#include "sdwan/ospf.hpp"
+
+#include <stdexcept>
+
+#include "graph/shortest_path.hpp"
+
+namespace pm::sdwan {
+
+SwitchId LegacyRoutingTable::next_hop(SwitchId dst) const {
+  if (dst < 0 || dst >= static_cast<SwitchId>(next_hop_.size())) {
+    throw std::out_of_range("destination out of range");
+  }
+  return next_hop_[static_cast<std::size_t>(dst)];
+}
+
+void LegacyRoutingTable::set_route(SwitchId dst, SwitchId next_hop) {
+  if (dst < 0 || dst >= static_cast<SwitchId>(next_hop_.size())) {
+    throw std::out_of_range("destination out of range");
+  }
+  next_hop_[static_cast<std::size_t>(dst)] = next_hop;
+}
+
+std::vector<LegacyRoutingTable> compute_legacy_tables(const graph::Graph& g) {
+  const int n = g.node_count();
+  std::vector<LegacyRoutingTable> tables;
+  tables.reserve(static_cast<std::size_t>(n));
+  for (SwitchId s = 0; s < n; ++s) {
+    const auto sssp = graph::dijkstra(g, s);
+    std::vector<SwitchId> next(static_cast<std::size_t>(n), -1);
+    for (SwitchId d = 0; d < n; ++d) {
+      if (d == s) continue;
+      const auto path = graph::extract_path(sssp, d);
+      if (path.size() >= 2) next[static_cast<std::size_t>(d)] = path[1];
+    }
+    tables.emplace_back(s, std::move(next));
+  }
+  return tables;
+}
+
+}  // namespace pm::sdwan

@@ -1,0 +1,40 @@
+// Legacy (OSPF-style) routing substrate: per-switch destination-based
+// next-hop tables computed from link-state shortest paths. These are the
+// low-priority tables the hybrid SDN/legacy mode of Fig. 2(c) falls back
+// to when the OpenFlow table misses.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sdwan/types.hpp"
+
+namespace pm::sdwan {
+
+/// Destination-based forwarding table of one switch: next_hop(dst).
+class LegacyRoutingTable {
+ public:
+  LegacyRoutingTable() = default;
+  LegacyRoutingTable(SwitchId self, std::vector<SwitchId> next_hop)
+      : self_(self), next_hop_(std::move(next_hop)) {}
+
+  SwitchId self() const { return self_; }
+
+  /// Next hop toward `dst`; -1 when dst == self or unreachable.
+  SwitchId next_hop(SwitchId dst) const;
+
+  /// Replaces one route (used by tests and by manual reconfiguration).
+  void set_route(SwitchId dst, SwitchId next_hop);
+
+ private:
+  SwitchId self_ = -1;
+  std::vector<SwitchId> next_hop_;
+};
+
+/// Runs the link-state computation for every switch in the graph:
+/// tables[s].next_hop(d) is the first hop of the deterministic shortest
+/// path s -> d (the same tie-breaking as graph::shortest_path, so legacy
+/// forwarding reproduces the flows' default paths exactly).
+std::vector<LegacyRoutingTable> compute_legacy_tables(const graph::Graph& g);
+
+}  // namespace pm::sdwan

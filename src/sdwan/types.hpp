@@ -1,0 +1,14 @@
+// Shared id types of the SD-WAN model. All three are dense indices:
+// switches share ids with topology nodes; controllers and flows are indexed
+// in their containers' order.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace pm::sdwan {
+
+using SwitchId = graph::NodeId;
+using ControllerId = int;
+using FlowId = int;
+
+}  // namespace pm::sdwan

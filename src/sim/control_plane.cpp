@@ -1,0 +1,88 @@
+#include "sim/control_plane.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pm::sim {
+
+RecoveryTimeline simulate_recovery(const sdwan::FailureState& state,
+                                   const core::RecoveryPlan& plan,
+                                   const ControlPlaneConfig& config) {
+  if (const auto problems = core::validate_plan(state, plan);
+      !problems.empty()) {
+    throw std::invalid_argument("invalid plan: " + problems.front());
+  }
+  const sdwan::Network& net = state.network();
+
+  EventQueue queue;
+  RecoveryTimeline timeline;
+  timeline.failure_at = 0.0;
+
+  // --- Detection. The last heartbeat arrived somewhere in [-interval, 0];
+  // deterministically assume the worst case (a beat at exactly t=0 was
+  // missed), so the detector fires one timeout after the last pre-failure
+  // beat: at detection_timeout_ms.
+  const TimeMs detect_at = config.detection_timeout_ms;
+
+  // Coordinator: surviving controller with the lowest id.
+  // (Sync channels are full mesh; the coordinator hears the silence
+  // directly, so no extra dissemination round is modeled.)
+  timeline.detected_at = detect_at;
+
+  // --- Plan computation.
+  const double compute_ms = config.plan_compute_ms >= 0.0
+                                ? config.plan_compute_ms
+                                : plan.solve_seconds * 1000.0;
+  timeline.plan_ready_at = detect_at + compute_ms;
+
+  // --- Role requests and flow-mods.
+  // Group assignments per switch so the role-request precedes the
+  // flow-mods on each control channel.
+  std::map<sdwan::SwitchId, std::vector<sdwan::FlowId>> per_switch;
+  for (const auto& [sw, flow] : plan.sdn_assignments) {
+    per_switch[sw].push_back(flow);
+  }
+
+  const sdwan::ControllerId coordinator = state.active_controllers().front();
+  for (const auto& [sw, flows] : per_switch) {
+    const sdwan::ControllerId adopter = plan.controller_of(sw);
+    // Coordinator -> adopter handoff notice (controller sync channel).
+    const double c2c =
+        net.topology().direct_delay_ms(net.controller(coordinator).location,
+                                       net.controller(adopter).location);
+    // Adopter -> switch: role request, then one flow-mod per assignment,
+    // pipelined on the control channel (they share one propagation delay
+    // but serialize on the middle layer if present).
+    const double d = net.delay_ms(sw, adopter);
+    const double role_arrives =
+        timeline.plan_ready_at + c2c + d + plan.middle_layer_ms;
+    ++timeline.control_messages;  // role request
+    queue.schedule_at(role_arrives, [] {});
+    double install_at = role_arrives;
+    for (sdwan::FlowId flow : flows) {
+      // Per-message serialization plus any middle-layer processing.
+      install_at += config.message_serialization_ms + plan.middle_layer_ms;
+      ++timeline.control_messages;
+      const sdwan::FlowId f = flow;
+      const sdwan::SwitchId s = sw;
+      queue.schedule_at(install_at, [&timeline, f, s, install_at] {
+        (void)s;
+        const auto it = timeline.flow_recovered_at.find(f);
+        if (it == timeline.flow_recovered_at.end()) {
+          timeline.flow_recovered_at[f] = install_at;
+        } else {
+          it->second = std::min(it->second, install_at);
+        }
+        timeline.completed_at = std::max(timeline.completed_at, install_at);
+      });
+    }
+  }
+
+  queue.run();
+  timeline.completed_at =
+      std::max(timeline.completed_at, timeline.plan_ready_at);
+  return timeline;
+}
+
+}  // namespace pm::sim

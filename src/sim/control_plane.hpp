@@ -1,0 +1,63 @@
+// End-to-end recovery replay: what actually happens on the wire between a
+// controller crash and the last offline flow regaining programmability.
+//
+// The paper evaluates plans statically; this simulator adds the temporal
+// dimension for the examples and integration tests:
+//
+//   t0                controllers fail (instantly silent).
+//   detection         each surviving controller runs a heartbeat failure
+//                     detector over the controller sync channel; a peer is
+//                     declared dead after `detection_timeout_ms` without a
+//                     beat (beats every `heartbeat_interval_ms`).
+//   plan              the surviving controller with the lowest id acts as
+//                     recovery coordinator and computes the plan
+//                     (`plan_compute_ms`, defaulting to the plan's own
+//                     measured solve time).
+//   role + flow-mods  the coordinator tells each adopting controller,
+//                     which sends a role-request to every switch mapped to
+//                     it, then one flow-mod per SDN assignment; every
+//                     message pays the propagation delay D_ij (plus the
+//                     plan's middle-layer latency, for PG).
+//   recovered         a flow counts as recovered when its first SDN entry
+//                     is installed; the timeline records first/last entry
+//                     per flow and the overall completion time.
+#pragma once
+
+#include <map>
+
+#include "core/recovery_plan.hpp"
+#include "sim/event_queue.hpp"
+
+namespace pm::sim {
+
+struct ControlPlaneConfig {
+  double heartbeat_interval_ms = 50.0;
+  double detection_timeout_ms = 200.0;
+  /// Plan-computation latency; < 0 means use plan.solve_seconds.
+  double plan_compute_ms = -1.0;
+  /// Per-message serialization on a control channel (back-to-back
+  /// flow-mods space out by this much).
+  double message_serialization_ms = 0.01;
+};
+
+struct RecoveryTimeline {
+  TimeMs failure_at = 0.0;
+  TimeMs detected_at = 0.0;    ///< failure declared by the coordinator.
+  TimeMs plan_ready_at = 0.0;
+  /// First SDN entry per flow (the moment programmability returns).
+  std::map<sdwan::FlowId, TimeMs> flow_recovered_at;
+  /// All entries of the plan installed.
+  TimeMs completed_at = 0.0;
+  std::size_t control_messages = 0;
+
+  /// Convenience: completed_at - failure_at.
+  double total_recovery_ms() const { return completed_at - failure_at; }
+};
+
+/// Replays `plan` under `scenario`. The plan must be valid for the
+/// failure state (throws std::invalid_argument otherwise).
+RecoveryTimeline simulate_recovery(const sdwan::FailureState& state,
+                                   const core::RecoveryPlan& plan,
+                                   const ControlPlaneConfig& config = {});
+
+}  // namespace pm::sim

@@ -1,0 +1,50 @@
+// Minimal discrete-event engine: a time-ordered queue of callbacks.
+// Events at equal timestamps fire in scheduling order (stable), which
+// keeps simulations deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace pm::sim {
+
+/// Simulated time in milliseconds.
+using TimeMs = double;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at` (>= now, else clamped to now).
+  void schedule_at(TimeMs at, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` ms from now.
+  void schedule_in(TimeMs delay, std::function<void()> fn);
+
+  TimeMs now() const { return now_; }
+
+  /// Runs events until the queue empties or `until` is passed.
+  /// Returns the number of events executed.
+  std::size_t run(TimeMs until = 1e18);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Entry {
+    TimeMs at;
+    std::uint64_t seq;  // tie-break: scheduling order
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> events_;
+  TimeMs now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pm::sim

@@ -1,0 +1,62 @@
+#include "topo/abilene.hpp"
+
+#include <array>
+
+namespace pm::topo {
+
+namespace {
+
+struct City {
+  const char* label;
+  double lat;
+  double lon;
+};
+
+constexpr std::array<City, 11> kCities = {{
+    {"Seattle", 47.61, -122.33},       // 0
+    {"Sunnyvale", 37.37, -122.04},     // 1
+    {"Los Angeles", 34.05, -118.24},   // 2
+    {"Denver", 39.74, -104.99},        // 3
+    {"Kansas City", 39.10, -94.58},    // 4
+    {"Houston", 29.76, -95.37},        // 5
+    {"Chicago", 41.88, -87.63},        // 6
+    {"Indianapolis", 39.77, -86.16},   // 7
+    {"Atlanta", 33.75, -84.39},        // 8
+    {"Washington DC", 38.91, -77.04},  // 9
+    {"New York", 40.71, -74.01},       // 10
+}};
+
+// The canonical Abilene link set.
+constexpr std::array<std::pair<int, int>, 14> kLinks = {{
+    {0, 1},   // Seattle - Sunnyvale
+    {0, 3},   // Seattle - Denver
+    {1, 2},   // Sunnyvale - Los Angeles
+    {1, 3},   // Sunnyvale - Denver
+    {2, 5},   // Los Angeles - Houston
+    {3, 4},   // Denver - Kansas City
+    {4, 5},   // Kansas City - Houston
+    {4, 7},   // Kansas City - Indianapolis
+    {5, 8},   // Houston - Atlanta
+    {7, 6},   // Indianapolis - Chicago
+    {7, 8},   // Indianapolis - Atlanta
+    {6, 10},  // Chicago - New York
+    {8, 9},   // Atlanta - Washington DC
+    {10, 9},  // New York - Washington DC
+}};
+
+}  // namespace
+
+Topology abilene_topology() {
+  Topology topo("Abilene (Internet2)");
+  for (const City& c : kCities) {
+    topo.add_node({c.label, c.lat, c.lon});
+  }
+  for (const auto& [u, v] : kLinks) {
+    topo.add_link(u, v);
+  }
+  return topo;
+}
+
+Domains abilene_domains() { return k_center_domains(abilene_topology(), 3); }
+
+}  // namespace pm::topo

@@ -1,0 +1,20 @@
+// The Abilene (Internet2) backbone — the classic 11-node / 14-link US
+// research network, embedded as a second real topology for
+// cross-topology validation: every algorithm invariant tested on the
+// ATT-like backbone is re-checked here (tests/test_abilene.cpp), guarding
+// against accidental over-fitting to one calibrated instance.
+#pragma once
+
+#include "topo/placement.hpp"
+#include "topo/topology.hpp"
+
+namespace pm::topo {
+
+/// 11 nodes with real city coordinates, 14 undirected links.
+Topology abilene_topology();
+
+/// A 3-controller domain layout for Abilene via k-center placement
+/// (deterministic).
+Domains abilene_domains();
+
+}  // namespace pm::topo

@@ -1,0 +1,115 @@
+#include "topo/att.hpp"
+
+#include <array>
+
+namespace pm::topo {
+
+namespace {
+
+struct City {
+  const char* label;
+  double lat;
+  double lon;
+};
+
+// Node ids follow the paper's Table III domain layout:
+//   C6  (Philadelphia) : {0, 1, 6, 7}              — Northeast
+//   C2  (Chicago)      : {2, 3, 9, 16}             — Great Lakes
+//   C5  (Atlanta)      : {4, 5, 8, 14}             — Southeast
+//   C13 (Dallas)       : {10, 11, 12, 13, 15}      — Central/South
+//   C20 (Denver)       : {19, 20}                  — Mountain
+//   C22 (San Francisco): {17, 18, 21, 22, 23, 24}  — West
+constexpr std::array<City, 25> kCities = {{
+    {"New York", 40.71, -74.01},       // 0
+    {"Boston", 42.36, -71.06},         // 1
+    {"Chicago", 41.88, -87.63},        // 2
+    {"Detroit", 42.33, -83.05},        // 3
+    {"Orlando", 28.54, -81.38},        // 4
+    {"Atlanta", 33.75, -84.39},        // 5
+    {"Philadelphia", 39.95, -75.17},   // 6
+    {"Washington DC", 38.91, -77.04},  // 7
+    {"Nashville", 36.16, -86.78},      // 8
+    {"Cleveland", 41.50, -81.69},      // 9
+    {"St. Louis", 38.63, -90.20},      // 10
+    {"Kansas City", 39.10, -94.58},    // 11
+    {"Houston", 29.76, -95.37},        // 12
+    {"Dallas", 32.78, -96.80},         // 13
+    {"Charlotte", 35.23, -80.84},      // 14
+    {"New Orleans", 29.95, -90.07},    // 15
+    {"Indianapolis", 39.77, -86.16},   // 16
+    {"Los Angeles", 34.05, -118.24},   // 17
+    {"San Diego", 32.72, -117.16},     // 18
+    {"Salt Lake City", 40.76, -111.89},// 19
+    {"Denver", 39.74, -104.99},        // 20
+    {"Seattle", 47.61, -122.33},       // 21
+    {"San Francisco", 37.77, -122.42}, // 22
+    {"Portland", 45.52, -122.68},      // 23
+    {"Phoenix", 33.45, -112.07},       // 24
+}};
+
+// 56 undirected links (112 directed, as the paper counts them).
+//
+// The layout is calibrated so shortest-delay routing reproduces the shape
+// of Table III: node 13 (Dallas) is the sole east-west long-haul corridor
+// (together with its spokes to Chicago, Atlanta, LA, Phoenix and San
+// Diego), while the mountain domain {19, 20} hangs off the corridor
+// without offering a competitive through-route, keeping its transit load
+// tiny. Every link lies on a 3- or 4-cycle so that a flow between adjacent
+// nodes still has a second (detour) path within the bounded path-count
+// budget — i.e. beta can be 1 at the flow's source.
+constexpr std::array<std::pair<int, int>, 56> kLinks = {{
+    // Northeast
+    {0, 1},   {0, 6},   {6, 7},   {1, 3},   {0, 9},   {1, 9},
+    {7, 9},   {6, 9},   {7, 14},  {5, 7},   {1, 7},
+    // Great Lakes / Midwest
+    {9, 3},   {2, 3},   {2, 9},   {9, 16},  {2, 16},  {2, 0},
+    {2, 10},  {2, 11},  {2, 13},  {10, 11}, {10, 13}, {11, 13},
+    {3, 16},  {11, 16}, {11, 12}, {9, 14},
+    // Southeast
+    {14, 5},  {5, 8},   {14, 8},  {5, 4},   {4, 14},  {4, 15},
+    {5, 15},  {5, 13},  {12, 5},  {2, 5},
+    // South / Central (the Dallas corridor)
+    {13, 12}, {13, 15}, {12, 15}, {13, 24}, {12, 24}, {13, 17},
+    {13, 20}, {18, 13}, {12, 4},
+    // Mountain (spur off the corridor; no competitive through-route)
+    {11, 20}, {19, 20}, {19, 24},
+    // West
+    {17, 22}, {17, 18}, {24, 17}, {22, 23}, {21, 23}, {21, 22},
+    {22, 18},
+}};
+
+}  // namespace
+
+Topology att_topology() {
+  Topology topo("ATT-like US backbone (synthesized, see DESIGN.md)");
+  for (const City& c : kCities) {
+    topo.add_node({c.label, c.lat, c.lon});
+  }
+  for (const auto& [u, v] : kLinks) {
+    topo.add_link(u, v);
+  }
+  return topo;
+}
+
+std::map<graph::NodeId, std::vector<graph::NodeId>> att_domains() {
+  return {
+      {2, {2, 3, 9, 16}},
+      {5, {4, 5, 8, 14}},
+      {6, {0, 1, 6, 7}},
+      {13, {10, 11, 12, 13, 15}},
+      {20, {19, 20}},
+      {22, {17, 18, 21, 22, 23, 24}},
+  };
+}
+
+std::vector<int> att_paper_flow_counts() {
+  // Table III, indexed by switch/node id 0..24.
+  return {81, 49, 143, 71, 49, 143, 89, 97, 53, 107, 63, 59, 71,
+          213, 61, 67, 55, 125, 49, 49, 63, 81, 111, 49, 57};
+}
+
+std::vector<graph::NodeId> att_controller_nodes() {
+  return {2, 5, 6, 13, 20, 22};
+}
+
+}  // namespace pm::topo

@@ -1,0 +1,37 @@
+// The embedded ATT-like US backbone used throughout the evaluation.
+//
+// The paper evaluates on the Topology Zoo "ATT" backbone: 25 nodes, 112
+// directed (56 undirected) links, with six controllers placed at nodes
+// {2, 5, 6, 13, 20, 22} (Table III). The original Zoo GML file is not
+// redistributable here, so this module synthesizes a 25-node backbone over
+// real US-city coordinates with the same controller placement and the same
+// domain membership as Table III, calibrated so that all-pairs
+// shortest-path routing makes node 13 the dominant transit hub — the
+// structural property that drives the paper's headline results
+// (DESIGN.md, substitution 1). A real Zoo file can be loaded with
+// topo::load_gml_file() instead.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace pm::topo {
+
+/// The 25-node / 56-link embedded backbone.
+Topology att_topology();
+
+/// Controller placement of Table III: controller node id -> the switch
+/// node ids of its domain. Every switch appears in exactly one domain and
+/// each controller node is inside its own domain.
+std::map<graph::NodeId, std::vector<graph::NodeId>> att_domains();
+
+/// Per-switch flow counts reported in the paper's Table III, indexed by
+/// node id. Used by benches to print paper-vs-measured side by side.
+std::vector<int> att_paper_flow_counts();
+
+/// The controller node ids, ascending: {2, 5, 6, 13, 20, 22}.
+std::vector<graph::NodeId> att_controller_nodes();
+
+}  // namespace pm::topo

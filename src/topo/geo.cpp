@@ -1,0 +1,32 @@
+#include "topo/geo.hpp"
+
+#include <cmath>
+
+namespace pm::topo {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+double to_radians(double deg) { return deg * kPi / 180.0; }
+}  // namespace
+
+double haversine_km(double lat1_deg, double lon1_deg, double lat2_deg,
+                    double lon2_deg) {
+  const double lat1 = to_radians(lat1_deg);
+  const double lat2 = to_radians(lat2_deg);
+  const double dlat = to_radians(lat2_deg - lat1_deg);
+  const double dlon = to_radians(lon2_deg - lon1_deg);
+  const double a = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  const double c = 2 * std::atan2(std::sqrt(a), std::sqrt(1 - a));
+  return kEarthRadiusKm * c;
+}
+
+double propagation_delay_ms(double distance_km) {
+  const double meters = distance_km * 1000.0;
+  const double seconds = meters / kPropagationSpeedMps;
+  return seconds * 1000.0;
+}
+
+}  // namespace pm::topo

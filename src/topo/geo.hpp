@@ -1,0 +1,22 @@
+// Geographic helpers: Haversine great-circle distance and the
+// distance -> propagation-delay conversion the paper uses (Sec. VI-A):
+// delay = distance / 2e8 m/s.
+#pragma once
+
+namespace pm::topo {
+
+/// Mean Earth radius in kilometers (IUGG).
+inline constexpr double kEarthRadiusKm = 6371.0;
+
+/// Signal propagation speed in fiber, meters per second (paper's value).
+inline constexpr double kPropagationSpeedMps = 2.0e8;
+
+/// Great-circle distance in km between two (latitude, longitude) points
+/// given in degrees, by the Haversine formula.
+double haversine_km(double lat1_deg, double lon1_deg, double lat2_deg,
+                    double lon2_deg);
+
+/// One-way propagation delay in milliseconds over `distance_km` of fiber.
+double propagation_delay_ms(double distance_km);
+
+}  // namespace pm::topo

@@ -1,0 +1,309 @@
+#include "topo/gml.hpp"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <variant>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace pm::topo {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Generic GML value tree.
+// ---------------------------------------------------------------------
+
+struct GmlList;
+using GmlValue = std::variant<long long, double, std::string,
+                              std::unique_ptr<GmlList>>;
+
+struct GmlEntry {
+  std::string key;
+  GmlValue value;
+};
+
+struct GmlList {
+  std::vector<GmlEntry> entries;
+
+  const GmlEntry* find(std::string_view key) const {
+    for (const auto& e : entries) {
+      if (e.key == key) return &e;
+    }
+    return nullptr;
+  }
+};
+
+struct Token {
+  enum class Kind { kWord, kString, kOpen, kClose, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Token next() {
+    skip_ws_and_comments();
+    if (pos_ >= text_.size()) return {Token::Kind::kEnd, "", line_};
+    const char c = text_[pos_];
+    if (c == '[') {
+      ++pos_;
+      return {Token::Kind::kOpen, "[", line_};
+    }
+    if (c == ']') {
+      ++pos_;
+      return {Token::Kind::kClose, "]", line_};
+    }
+    if (c == '"') return lex_string();
+    return lex_word();
+  }
+
+  int line() const { return line_; }
+
+ private:
+  void skip_ws_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {  // comment to end of line
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token lex_string() {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\n') ++line_;
+      out += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) {
+      throw GmlError("unterminated string", start_line);
+    }
+    ++pos_;  // closing quote
+    return {Token::Kind::kString, std::move(out), start_line};
+  }
+
+  Token lex_word() {
+    const int start_line = line_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '[' ||
+          c == ']' || c == '"') {
+        break;
+      }
+      out += c;
+      ++pos_;
+    }
+    return {Token::Kind::kWord, std::move(out), start_line};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lexer_(text) { advance(); }
+
+  GmlList parse_top_level() {
+    GmlList list;
+    while (tok_.kind != Token::Kind::kEnd) {
+      list.entries.push_back(parse_entry());
+    }
+    return list;
+  }
+
+ private:
+  void advance() { tok_ = lexer_.next(); }
+
+  GmlEntry parse_entry() {
+    if (tok_.kind != Token::Kind::kWord) {
+      throw GmlError("expected key, got '" + tok_.text + "'", tok_.line);
+    }
+    GmlEntry entry;
+    entry.key = tok_.text;
+    advance();
+    switch (tok_.kind) {
+      case Token::Kind::kOpen: {
+        advance();
+        auto sub = std::make_unique<GmlList>();
+        while (tok_.kind != Token::Kind::kClose) {
+          if (tok_.kind == Token::Kind::kEnd) {
+            throw GmlError("unterminated list for key '" + entry.key + "'",
+                           tok_.line);
+          }
+          sub->entries.push_back(parse_entry());
+        }
+        advance();  // consume ']'
+        entry.value = std::move(sub);
+        return entry;
+      }
+      case Token::Kind::kString:
+        entry.value = tok_.text;
+        advance();
+        return entry;
+      case Token::Kind::kWord: {
+        long long i = 0;
+        double d = 0.0;
+        if (util::parse_int(tok_.text, i)) {
+          entry.value = i;
+        } else if (util::parse_double(tok_.text, d)) {
+          entry.value = d;
+        } else {
+          entry.value = tok_.text;  // bare word, e.g. a hostname
+        }
+        advance();
+        return entry;
+      }
+      default:
+        throw GmlError("expected value for key '" + entry.key + "'",
+                       tok_.line);
+    }
+  }
+
+  Lexer lexer_;
+  Token tok_;
+};
+
+double as_double(const GmlValue& v, double fallback) {
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* i = std::get_if<long long>(&v)) return static_cast<double>(*i);
+  return fallback;
+}
+
+long long as_int(const GmlValue& v, long long fallback) {
+  if (const auto* i = std::get_if<long long>(&v)) return *i;
+  if (const auto* d = std::get_if<double>(&v)) return static_cast<long long>(*d);
+  return fallback;
+}
+
+std::string as_string(const GmlValue& v, std::string fallback) {
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  if (const auto* i = std::get_if<long long>(&v)) return std::to_string(*i);
+  return fallback;
+}
+
+}  // namespace
+
+Topology parse_gml(const std::string& text) {
+  Parser parser(text);
+  const GmlList top = parser.parse_top_level();
+
+  const GmlEntry* graph_entry = top.find("graph");
+  if (graph_entry == nullptr ||
+      !std::holds_alternative<std::unique_ptr<GmlList>>(graph_entry->value)) {
+    throw GmlError("no 'graph [...]' block found", 1);
+  }
+  const GmlList& g = *std::get<std::unique_ptr<GmlList>>(graph_entry->value);
+
+  Topology topo;
+  if (const GmlEntry* label = g.find("label")) {
+    topo.set_name(as_string(label->value, ""));
+  } else if (const GmlEntry* net = g.find("Network")) {
+    topo.set_name(as_string(net->value, ""));
+  }
+
+  // First pass: nodes. Zoo files may have gaps in ids, so remap to dense.
+  std::map<long long, graph::NodeId> id_map;
+  bool any_coordinates = false;
+  for (const auto& e : g.entries) {
+    if (e.key != "node") continue;
+    const auto* sub = std::get_if<std::unique_ptr<GmlList>>(&e.value);
+    if (sub == nullptr) throw GmlError("'node' is not a block", 1);
+    const GmlList& n = **sub;
+    const GmlEntry* id = n.find("id");
+    if (id == nullptr) throw GmlError("node without id", 1);
+    Node node;
+    if (const GmlEntry* label = n.find("label")) {
+      node.label = as_string(label->value, "");
+    }
+    if (const GmlEntry* lat = n.find("Latitude")) {
+      node.latitude = as_double(lat->value, 0.0);
+      any_coordinates = true;
+    }
+    if (const GmlEntry* lon = n.find("Longitude")) {
+      node.longitude = as_double(lon->value, 0.0);
+      any_coordinates = true;
+    }
+    const long long raw_id = as_int(id->value, -1);
+    if (id_map.contains(raw_id)) {
+      throw GmlError("duplicate node id " + std::to_string(raw_id), 1);
+    }
+    id_map[raw_id] = topo.add_node(std::move(node));
+  }
+
+  // Second pass: edges. Self-loops and duplicates (both present in real Zoo
+  // files) are skipped.
+  for (const auto& e : g.entries) {
+    if (e.key != "edge") continue;
+    const auto* sub = std::get_if<std::unique_ptr<GmlList>>(&e.value);
+    if (sub == nullptr) throw GmlError("'edge' is not a block", 1);
+    const GmlList& ed = **sub;
+    const GmlEntry* src = ed.find("source");
+    const GmlEntry* dst = ed.find("target");
+    if (src == nullptr || dst == nullptr) {
+      throw GmlError("edge without source/target", 1);
+    }
+    const auto s_it = id_map.find(as_int(src->value, -1));
+    const auto t_it = id_map.find(as_int(dst->value, -1));
+    if (s_it == id_map.end() || t_it == id_map.end()) {
+      throw GmlError("edge references unknown node", 1);
+    }
+    const graph::NodeId u = s_it->second;
+    const graph::NodeId v = t_it->second;
+    if (u == v || topo.graph().has_edge(u, v)) continue;
+    if (any_coordinates) {
+      topo.add_link(u, v);
+    } else {
+      topo.add_link_with_delay(u, v, 1.0);
+    }
+  }
+  return topo;
+}
+
+Topology load_gml_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open GML file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_gml(buf.str());
+}
+
+std::string to_gml(const Topology& topo) {
+  std::ostringstream out;
+  out.precision(10);
+  out << "graph [\n";
+  out << "  label \"" << topo.name() << "\"\n";
+  out << "  directed 0\n";
+  for (int i = 0; i < topo.node_count(); ++i) {
+    const Node& n = topo.node(i);
+    out << "  node [\n    id " << i << "\n    label \"" << n.label
+        << "\"\n    Latitude " << n.latitude << "\n    Longitude "
+        << n.longitude << "\n  ]\n";
+  }
+  for (const auto& e : topo.graph().edges()) {
+    out << "  edge [\n    source " << e.u << "\n    target " << e.v
+        << "\n  ]\n";
+  }
+  out << "]\n";
+  return out.str();
+}
+
+}  // namespace pm::topo

@@ -1,0 +1,48 @@
+// Parser for the GML dialect used by the Internet Topology Zoo [18].
+//
+// A Topology Zoo file looks like:
+//
+//   graph [
+//     label "Att North America"
+//     node [ id 0  label "New York"  Latitude 40.71  Longitude -74.0 ]
+//     edge [ source 0  target 1 ]
+//   ]
+//
+// The parser builds a generic key/value tree first and then interprets the
+// graph/node/edge records, so files with vendor-specific extra keys load
+// fine. Quirks of real Zoo files are handled: duplicate edges and
+// self-loops are skipped, nodes without coordinates get delay-1ms links,
+// non-contiguous node ids are compacted.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "topo/topology.hpp"
+
+namespace pm::topo {
+
+/// Error with line information for malformed GML input.
+class GmlError : public std::runtime_error {
+ public:
+  GmlError(const std::string& message, int line)
+      : std::runtime_error("GML parse error (line " + std::to_string(line) +
+                           "): " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses GML text into a Topology. Throws GmlError on malformed input.
+Topology parse_gml(const std::string& text);
+
+/// Loads a GML file from disk. Throws std::runtime_error if unreadable.
+Topology load_gml_file(const std::string& path);
+
+/// Serializes a Topology back to GML (round-trips through parse_gml).
+std::string to_gml(const Topology& topo);
+
+}  // namespace pm::topo

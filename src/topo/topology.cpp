@@ -1,0 +1,47 @@
+#include "topo/topology.hpp"
+
+#include <stdexcept>
+
+#include "topo/geo.hpp"
+
+namespace pm::topo {
+
+graph::NodeId Topology::add_node(Node node) {
+  nodes_.push_back(std::move(node));
+  // Rebuild the graph with one more node, preserving existing edges.
+  graph::Graph bigger(static_cast<int>(nodes_.size()));
+  for (const auto& e : graph_.edges()) bigger.add_edge(e.u, e.v, e.weight);
+  graph_ = std::move(bigger);
+  return static_cast<graph::NodeId>(nodes_.size()) - 1;
+}
+
+void Topology::add_link(graph::NodeId u, graph::NodeId v) {
+  add_link_with_delay(u, v, direct_delay_ms(u, v));
+}
+
+void Topology::add_link_with_delay(graph::NodeId u, graph::NodeId v,
+                                   double delay_ms) {
+  graph_.add_edge(u, v, delay_ms);
+}
+
+const Node& Topology::node(graph::NodeId id) const {
+  graph_.check_node(id);
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+double Topology::direct_delay_ms(graph::NodeId u, graph::NodeId v) const {
+  const Node& a = node(u);
+  const Node& b = node(v);
+  return propagation_delay_ms(
+      haversine_km(a.latitude, a.longitude, b.latitude, b.longitude));
+}
+
+std::optional<graph::NodeId> Topology::find_node(
+    const std::string& label) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].label == label) return static_cast<graph::NodeId>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace pm::topo

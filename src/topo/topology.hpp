@@ -1,0 +1,59 @@
+// A WAN topology: a graph whose nodes carry labels and coordinates, and
+// whose edge weights are one-way propagation delays in milliseconds.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pm::topo {
+
+struct Node {
+  std::string label;
+  double latitude = 0.0;
+  double longitude = 0.0;
+};
+
+/// Invariant: graph().node_count() == static_cast<int>(nodes().size()).
+/// Edge weights are propagation delays in ms; add_link() derives them from
+/// the endpoints' coordinates via Haversine, add_link_with_delay() sets an
+/// explicit value (used by generators and by GML files without geodata).
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Returns the new node's id.
+  graph::NodeId add_node(Node node);
+
+  void add_link(graph::NodeId u, graph::NodeId v);
+  void add_link_with_delay(graph::NodeId u, graph::NodeId v, double delay_ms);
+
+  int node_count() const { return graph_.node_count(); }
+  std::size_t link_count() const { return graph_.edge_count(); }
+
+  const Node& node(graph::NodeId id) const;
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const graph::Graph& graph() const { return graph_; }
+
+  /// One-way propagation delay in ms between any two nodes straight-line
+  /// (not along the graph) — used for switch-controller control channels,
+  /// which need not follow data-plane links.
+  double direct_delay_ms(graph::NodeId u, graph::NodeId v) const;
+
+  /// Node id by label; nullopt if absent (labels need not be unique; the
+  /// first match wins).
+  std::optional<graph::NodeId> find_node(const std::string& label) const;
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  graph::Graph graph_;
+};
+
+}  // namespace pm::topo

@@ -1,0 +1,70 @@
+#include "util/cli.hpp"
+
+#include "util/strings.hpp"
+
+namespace pm::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (!starts_with(tok, "--")) {
+      positional_.push_back(std::move(tok));
+      continue;
+    }
+    tok = tok.substr(2);
+    const std::size_t eq = tok.find('=');
+    if (eq != std::string::npos) {
+      flags_[tok.substr(0, eq)] = tok.substr(eq + 1);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      flags_[tok] = argv[++i];
+    } else {
+      flags_[tok] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  queried_[name] = true;
+  return flags_.contains(name);
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+long long CliArgs::get_int(const std::string& name, long long fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  long long v = 0;
+  return parse_int(it->second, v) ? v : fallback;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  double v = 0;
+  return parse_double(it->second, v) ? v : fallback;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string v = to_lower(it->second);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::string> CliArgs::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : flags_) {
+    if (!queried_.contains(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace pm::util

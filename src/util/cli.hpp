@@ -1,0 +1,38 @@
+// Tiny --flag=value / --flag value command-line parser for examples and
+// benches. Deliberately minimal: flags are looked up by name with a typed
+// default; unknown flags are reported so typos do not silently change runs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pm::util {
+
+class CliArgs {
+ public:
+  /// Parses argv. Accepts "--name=value", "--name value" and bare "--name"
+  /// (boolean true). Non-flag tokens are collected as positional arguments.
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  long long get_int(const std::string& name, long long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names seen on the command line that were never queried via get_*.
+  /// Call at the end of flag handling to warn about typos.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pm::util

@@ -1,0 +1,29 @@
+// Minimal CSV writer used by benches to dump figure series next to the
+// human-readable tables, so results can be re-plotted outside this repo.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pm::util {
+
+/// Streams rows as RFC-4180-ish CSV (fields containing comma, quote or
+/// newline are quoted; quotes are doubled). The writer does not own the
+/// stream; keep it alive for the writer's lifetime.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(std::initializer_list<std::string> fields);
+
+  /// Convenience for mixed string/number rows built by the caller.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace pm::util

@@ -1,0 +1,52 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pm::util {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+BoxStats box_stats(std::span<const double> sample) {
+  BoxStats s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q1 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.5);
+  s.q3 = quantile_sorted(sorted, 0.75);
+  s.mean = mean(sample);
+  return s;
+}
+
+double mean(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  return sum(sample) / static_cast<double>(sample.size());
+}
+
+double stddev(std::span<const double> sample) {
+  if (sample.size() < 2) return 0.0;
+  const double m = mean(sample);
+  double acc = 0.0;
+  for (double v : sample) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(sample.size() - 1));
+}
+
+double sum(std::span<const double> sample) {
+  return std::accumulate(sample.begin(), sample.end(), 0.0);
+}
+
+}  // namespace pm::util

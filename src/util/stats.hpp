@@ -1,0 +1,53 @@
+// Descriptive statistics used by the evaluation harness.
+//
+// The paper's Figs. 4(a), 5(a) and 6(a) are box plots of per-flow path
+// programmability; BoxStats carries exactly the five numbers such a plot
+// shows (min, Q1, median, Q3, max) plus mean/count so the benches can print
+// the same series in text form.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pm::util {
+
+/// Five-number summary (plus mean) of a sample, as drawn by a box plot.
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+
+  friend bool operator==(const BoxStats&, const BoxStats&) = default;
+};
+
+/// Computes the five-number summary of `sample`. Quartiles use linear
+/// interpolation between order statistics (type-7, the numpy default).
+/// An empty sample yields an all-zero summary with count == 0.
+BoxStats box_stats(std::span<const double> sample);
+
+/// Linear-interpolated quantile `q` in [0, 1] of `sorted`, which must be
+/// sorted ascending and non-empty.
+double quantile_sorted(std::span<const double> sorted, double q);
+
+double mean(std::span<const double> sample);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+double stddev(std::span<const double> sample);
+
+double sum(std::span<const double> sample);
+
+/// Convenience: converts any numeric container to double for the stats API.
+template <typename Container>
+std::vector<double> to_doubles(const Container& c) {
+  std::vector<double> out;
+  out.reserve(std::size(c));
+  for (const auto& v : c) out.push_back(static_cast<double>(v));
+  return out;
+}
+
+}  // namespace pm::util

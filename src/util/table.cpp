@@ -1,0 +1,47 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace pm::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      out << "| " << cell << std::string(width[c] - cell.size(), ' ') << ' ';
+    }
+    out << "|\n";
+  };
+
+  auto print_sep = [&] {
+    for (std::size_t c = 0; c < cols; ++c)
+      out << '+' << std::string(width[c] + 2, '-');
+    out << "+\n";
+  };
+
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& r : rows_) print_row(r);
+  print_sep();
+}
+
+}  // namespace pm::util

@@ -1,0 +1,33 @@
+// Aligned ASCII table printer — benches print each paper figure as one of
+// these tables so the series can be read directly from the terminal.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pm::util {
+
+/// Collects rows of string cells and renders them with padded columns.
+///
+///   TextTable t({"case", "PM", "Optimal"});
+///   t.add_row({"(13,20)", "315%", "317%"});
+///   t.print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Rows shorter than the header are right-padded with empty cells; longer
+  /// rows extend the column set.
+  void add_row(std::vector<std::string> row);
+
+  void print(std::ostream& out) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pm::util

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "core/pm_algorithm.hpp"
+#include "core/scenario.hpp"
+#include "ctrl/simulation.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace pm::ctrl {
+namespace {
+
+const sdwan::Network& att() {
+  static const sdwan::Network net = core::make_att_network();
+  return net;
+}
+
+RecoveryPolicy pm_policy() {
+  return [](const sdwan::FailureState& state,
+            const core::RecoveryPlan* previous) {
+    core::PmOptions opts;
+    opts.seed = previous;
+    return core::run_pm(state, opts);
+  };
+}
+
+// ---------------------------------------------------------------------
+// Channel
+// ---------------------------------------------------------------------
+
+TEST(Channel, DeliversWithPropagationDelay) {
+  sim::EventQueue queue;
+  ControlChannel channel(att(), queue);
+  double received_at = -1.0;
+  channel.attach(0, 0, [&](const Message&) { received_at = queue.now(); });
+  channel.attach(1, 13, [&](const Message&) {});
+  Message m;
+  m.from = 1;
+  m.to = 0;
+  m.body = Heartbeat{0, 1};
+  channel.send(m);
+  queue.run();
+  // Node 13 (Dallas) to node 0 (New York) over the graph: positive,
+  // finite, equals the shortest-path delay.
+  EXPECT_GT(received_at, 0.0);
+  EXPECT_NEAR(received_at,
+              graph::dijkstra(att().topology().graph(), 13)
+                  .dist[0],
+              1e-9);
+  EXPECT_EQ(channel.messages_sent(), 1u);
+}
+
+TEST(Channel, DropsToUnknownAndCountsKinds) {
+  sim::EventQueue queue;
+  ControlChannel channel(att(), queue);
+  channel.attach(0, 0, [](const Message&) {});
+  Message m;
+  m.from = 0;
+  m.to = 999;  // never attached
+  m.body = RoleRequest{1};
+  channel.send(m);
+  queue.run();
+  EXPECT_EQ(channel.messages_dropped(), 1u);
+  EXPECT_THROW(channel.send({998, 0, Heartbeat{}}), std::logic_error);
+}
+
+TEST(Channel, DetachedEndpointDropsInFlight) {
+  sim::EventQueue queue;
+  ControlChannel channel(att(), queue);
+  int received = 0;
+  channel.attach(0, 0, [&](const Message&) { ++received; });
+  channel.attach(1, 24, [](const Message&) {});
+  Message m;
+  m.from = 1;
+  m.to = 0;
+  m.body = Heartbeat{0, 1};
+  channel.send(m);
+  channel.detach(0);  // before delivery
+  queue.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(channel.messages_dropped(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Full protocol runs
+// ---------------------------------------------------------------------
+
+TEST(ControlSimulation, SteadyStateHasOnlyHeartbeats) {
+  ControlSimulation simulation(att(), pm_policy());
+  const SimulationReport report = simulation.run(2000.0);
+  EXPECT_LT(report.detected_at, 0.0);  // nothing failed
+  EXPECT_EQ(report.recovery_waves, 0u);
+  EXPECT_EQ(report.adopted_switches, 0u);
+  EXPECT_TRUE(report.all_flows_deliverable);
+  ASSERT_TRUE(report.messages_by_kind.contains("heartbeat"));
+  EXPECT_EQ(report.messages_by_kind.size(), 1u);  // heartbeats only
+}
+
+TEST(ControlSimulation, SingleFailureDetectedAndRecovered) {
+  ControlSimulation simulation(att(), pm_policy());
+  simulation.fail_controller_at(3, 500.0);  // C13
+  const SimulationReport report = simulation.run(5000.0);
+
+  // Detection within ~2 timeouts of the crash.
+  EXPECT_GT(report.detected_at, 500.0);
+  EXPECT_LT(report.detected_at, 500.0 + 2.5 * 200.0);
+  // Exactly one recovery wave, fully converged shortly after detection.
+  EXPECT_EQ(report.recovery_waves, 1u);
+  EXPECT_GT(report.converged_at, report.detected_at);
+  EXPECT_LT(report.converged_at, report.detected_at + 100.0);
+  // The offline domain's switches were adopted and programmed.
+  EXPECT_GT(report.adopted_switches, 0u);
+  EXPECT_GT(report.flows_with_entries, 0u);
+  EXPECT_TRUE(report.all_flows_deliverable);
+  EXPECT_TRUE(report.messages_by_kind.contains("flow-mod"));
+  EXPECT_EQ(report.messages_by_kind.at("flow-mod"),
+            report.messages_by_kind.at("flow-mod-ack"));
+}
+
+TEST(ControlSimulation, AdoptedMastersMatchThePlan) {
+  ControlSimulation simulation(att(), pm_policy());
+  simulation.fail_controller_at(3, 500.0);
+  simulation.run(5000.0);
+
+  // The coordinator is the lowest-id survivor: controller 0.
+  const auto& coordinator = simulation.controller(0);
+  ASSERT_TRUE(coordinator.installed_plan().has_value());
+  const core::RecoveryPlan& plan = *coordinator.installed_plan();
+  for (const auto& [sw, adopter] : plan.mapping) {
+    EXPECT_EQ(simulation.switch_agent(sw).master(), adopter)
+        << "switch " << sw;
+  }
+}
+
+TEST(ControlSimulation, SuccessiveFailuresRunIncrementally) {
+  ControlSimulation simulation(att(), pm_policy());
+  simulation.fail_controller_at(3, 500.0);   // C13 first
+  simulation.fail_controller_at(4, 3000.0);  // C20 later
+  const SimulationReport report = simulation.run(8000.0);
+
+  EXPECT_GE(report.recovery_waves, 2u);
+  EXPECT_GT(report.converged_at, 3000.0);
+  EXPECT_TRUE(report.all_flows_deliverable);
+  // After both failures the coordinator's cumulative plan covers the
+  // union of both domains.
+  const auto& coordinator = simulation.controller(0);
+  ASSERT_TRUE(coordinator.installed_plan().has_value());
+  const sdwan::FailureState state(att(), {{3, 4}});
+  EXPECT_TRUE(
+      core::validate_plan(state, *coordinator.installed_plan()).empty());
+}
+
+TEST(ControlSimulation, DeadCoordinatorReplaced) {
+  // Fail controller 0 (the would-be coordinator) plus controller 3:
+  // controller 1 must take over coordination.
+  ControlSimulation simulation(att(), pm_policy());
+  simulation.fail_controller_at(0, 500.0);
+  simulation.fail_controller_at(3, 500.0);
+  const SimulationReport report = simulation.run(5000.0);
+  EXPECT_GE(report.recovery_waves, 1u);
+  EXPECT_TRUE(simulation.controller(1).installed_plan().has_value());
+  EXPECT_FALSE(simulation.controller(0).alive());
+  EXPECT_TRUE(report.all_flows_deliverable);
+}
+
+TEST(ControlSimulation, OrphanedSwitchesKeepForwarding) {
+  // Even before/without recovery, the hybrid data plane keeps delivering
+  // over the legacy tables.
+  ControlSimulation simulation(att(), pm_policy());
+  simulation.fail_controller_at(3, 500.0);
+  // Stop the clock right after the crash, before detection.
+  simulation.queue().run(600.0);
+  for (const auto& f : att().flows()) {
+    const auto trace = simulation.dataplane().trace(f.src, {f.src, f.dst});
+    ASSERT_TRUE(trace.delivered) << trace.failure_reason;
+  }
+}
+
+}  // namespace
+}  // namespace pm::ctrl

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "core/pm_algorithm.hpp"
+#include "core/pg.hpp"
+#include "core/scenario.hpp"
+#include "core/serialize.hpp"
+#include "util/json.hpp"
+
+namespace pm {
+namespace {
+
+using util::JsonError;
+using util::JsonValue;
+
+// ---------------------------------------------------------------------
+// JSON value tree
+// ---------------------------------------------------------------------
+
+TEST(Json, ScalarsAndAccessors) {
+  EXPECT_TRUE(JsonValue().is_null());
+  EXPECT_TRUE(JsonValue(true).as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue(2.5).as_number(), 2.5);
+  EXPECT_EQ(JsonValue(42).as_int(), 42);
+  EXPECT_EQ(JsonValue("hi").as_string(), "hi");
+  EXPECT_THROW(JsonValue(1.0).as_string(), std::logic_error);
+  EXPECT_THROW(JsonValue("x").as_number(), std::logic_error);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::object();
+  obj["zeta"] = JsonValue(1);
+  obj["alpha"] = JsonValue(2);
+  obj["mid"] = JsonValue(3);
+  ASSERT_EQ(obj.members().size(), 3u);
+  EXPECT_EQ(obj.members()[0].first, "zeta");
+  EXPECT_EQ(obj.members()[2].first, "mid");
+  EXPECT_TRUE(obj.contains("alpha"));
+  EXPECT_FALSE(obj.contains("omega"));
+  EXPECT_THROW(obj.at("omega"), std::out_of_range);
+}
+
+TEST(Json, WriterCompactAndPretty) {
+  JsonValue obj = JsonValue::object();
+  obj["n"] = JsonValue(3);
+  JsonValue arr = JsonValue::array();
+  arr.push_back(JsonValue(1));
+  arr.push_back(JsonValue("two"));
+  obj["items"] = std::move(arr);
+  EXPECT_EQ(obj.to_string(), R"({"n":3,"items":[1,"two"]})");
+  const std::string pretty = obj.to_string(2);
+  EXPECT_NE(pretty.find("\n  \"n\": 3"), std::string::npos);
+}
+
+TEST(Json, StringEscaping) {
+  JsonValue v(std::string("a\"b\\c\nd\x01"));
+  EXPECT_EQ(v.to_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+  // Round-trip.
+  EXPECT_EQ(JsonValue::parse(v.to_string()).as_string(), v.as_string());
+}
+
+TEST(Json, NumberFormatting) {
+  EXPECT_EQ(JsonValue(42.0).to_string(), "42");
+  EXPECT_EQ(JsonValue(-7).to_string(), "-7");
+  EXPECT_EQ(JsonValue::parse("2.5e3").as_number(), 2500.0);
+}
+
+TEST(Json, ParserHandlesWhitespaceAndNesting) {
+  const auto v = JsonValue::parse(R"(
+    { "a" : [ 1 , { "b" : null } , true ],
+      "c" : "x" }
+  )");
+  EXPECT_EQ(v.at("a").size(), 3u);
+  EXPECT_TRUE(v.at("a").at(1).at("b").is_null());
+  EXPECT_TRUE(v.at("a").at(2).as_bool());
+  EXPECT_EQ(v.at("c").as_string(), "x");
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), JsonError);
+  EXPECT_THROW(JsonValue::parse("{"), JsonError);
+  EXPECT_THROW(JsonValue::parse("[1,]"), JsonError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":}"), JsonError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(JsonValue::parse("tru"), JsonError);
+  EXPECT_THROW(JsonValue::parse("1 2"), JsonError);   // trailing garbage
+  EXPECT_THROW(JsonValue::parse("{a:1}"), JsonError); // unquoted key
+  EXPECT_THROW(JsonValue::parse("[1"), JsonError);
+  EXPECT_THROW(JsonValue::parse("\"\\u12g4\""), JsonError);
+}
+
+TEST(Json, UnicodeEscapes) {
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\"").as_string(), "A");
+  // U+00E9 (e-acute) -> two UTF-8 bytes.
+  const auto s = JsonValue::parse("\"\\u00e9\"").as_string();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(static_cast<unsigned char>(s[0]), 0xC3u);
+  EXPECT_EQ(static_cast<unsigned char>(s[1]), 0xA9u);
+}
+
+TEST(Json, RoundTripDeepStructure) {
+  JsonValue root = JsonValue::object();
+  JsonValue inner = JsonValue::array();
+  for (int i = 0; i < 10; ++i) {
+    JsonValue item = JsonValue::object();
+    item["i"] = JsonValue(i);
+    item["sq"] = JsonValue(i * i);
+    inner.push_back(std::move(item));
+  }
+  root["items"] = std::move(inner);
+  root["flag"] = JsonValue(false);
+  const JsonValue reparsed = JsonValue::parse(root.to_string(2));
+  EXPECT_EQ(reparsed, root);
+}
+
+// ---------------------------------------------------------------------
+// Plan serialization
+// ---------------------------------------------------------------------
+
+TEST(Serialize, PlanRoundTrip) {
+  const sdwan::Network net = core::make_att_network();
+  const sdwan::FailureState state(net, {{3, 4}});
+  const core::RecoveryPlan plan = core::run_pm(state);
+
+  const JsonValue json = core::plan_to_json(plan);
+  const core::RecoveryPlan back =
+      core::plan_from_json(JsonValue::parse(json.to_string(2)));
+  EXPECT_EQ(back.algorithm, plan.algorithm);
+  EXPECT_EQ(back.mapping, plan.mapping);
+  EXPECT_EQ(back.sdn_assignments, plan.sdn_assignments);
+  EXPECT_EQ(back.whole_switch_control, plan.whole_switch_control);
+  EXPECT_DOUBLE_EQ(back.middle_layer_ms, plan.middle_layer_ms);
+  // The deserialized plan still validates against the failure state.
+  EXPECT_TRUE(core::validate_plan(state, back).empty());
+}
+
+TEST(Serialize, PgPlanKeepsPerPairControllers) {
+  const sdwan::Network net = core::make_att_network();
+  const sdwan::FailureState state(net, {{3}});
+  const core::RecoveryPlan plan = core::run_pg(state);
+  const core::RecoveryPlan back = core::plan_from_json(
+      JsonValue::parse(core::plan_to_json(plan).to_string()));
+  EXPECT_EQ(back.assignment_controller, plan.assignment_controller);
+}
+
+TEST(Serialize, MalformedPlanRejected) {
+  EXPECT_THROW(core::plan_from_json(JsonValue::parse("{}")),
+               std::runtime_error);
+  EXPECT_THROW(core::plan_from_json(JsonValue::parse(
+                   R"({"algorithm": 7})")),
+               std::runtime_error);
+}
+
+TEST(Serialize, MetricsExportCompletes) {
+  const sdwan::Network net = core::make_att_network();
+  const sdwan::FailureState state(net, {{3}});
+  const core::RecoveryPlan plan = core::run_pm(state);
+  const auto metrics = core::evaluate_plan(state, plan);
+  const JsonValue json = core::case_report_to_json("(13)", plan, metrics);
+  EXPECT_EQ(json.at("case").as_string(), "(13)");
+  EXPECT_EQ(json.at("metrics").at("algorithm").as_string(), "PM");
+  EXPECT_EQ(json.at("metrics").at("total_programmability").as_int(),
+            metrics.total_programmability);
+  // Parses back as valid JSON.
+  EXPECT_NO_THROW(JsonValue::parse(json.to_string(2)));
+}
+
+}  // namespace
+}  // namespace pm

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/pg.hpp"
+#include "core/pm_algorithm.hpp"
+#include "core/scenario.hpp"
+#include "sim/control_plane.hpp"
+#include "sim/event_queue.hpp"
+
+namespace pm::sim {
+namespace {
+
+// ---------------------------------------------------------------------
+// Event queue
+// ---------------------------------------------------------------------
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(5.0, [&] { order.push_back(2); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(9.0, [&] { order.push_back(3); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, StableAtEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RelativeSchedulingAndCascade) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule_in(2.0, [&] {
+    times.push_back(q.now());
+    q.schedule_in(3.0, [&] { times.push_back(q.now()); });
+  });
+  q.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 2.0);
+  EXPECT_DOUBLE_EQ(times[1], 5.0);
+}
+
+TEST(EventQueue, RunUntilStopsEarly) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(10.0, [&] { ++fired; });
+  EXPECT_EQ(q.run(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule_at(5.0, [&] {
+    q.schedule_at(1.0, [&] { seen = q.now(); });  // in the past
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+// ---------------------------------------------------------------------
+// Control-plane recovery replay
+// ---------------------------------------------------------------------
+
+class ControlPlaneTest : public ::testing::Test {
+ protected:
+  ControlPlaneTest()
+      : net_(core::make_att_network()), state_(net_, scenario()) {}
+
+  static sdwan::FailureScenario scenario() {
+    // Fail the controller at node 13.
+    return {{3}};
+  }
+
+  sdwan::Network net_;
+  sdwan::FailureState state_;
+};
+
+TEST_F(ControlPlaneTest, TimelineIsOrdered) {
+  const core::RecoveryPlan plan = core::run_pm(state_);
+  const RecoveryTimeline t = simulate_recovery(state_, plan);
+  EXPECT_GT(t.detected_at, t.failure_at);
+  EXPECT_GE(t.plan_ready_at, t.detected_at);
+  EXPECT_GE(t.completed_at, t.plan_ready_at);
+  for (const auto& [flow, at] : t.flow_recovered_at) {
+    (void)flow;
+    EXPECT_GE(at, t.plan_ready_at);
+    EXPECT_LE(at, t.completed_at);
+  }
+}
+
+TEST_F(ControlPlaneTest, EveryRecoveredFlowGetsATimestamp) {
+  const core::RecoveryPlan plan = core::run_pm(state_);
+  const RecoveryTimeline t = simulate_recovery(state_, plan);
+  std::set<sdwan::FlowId> flows;
+  for (const auto& [sw, flow] : plan.sdn_assignments) {
+    (void)sw;
+    flows.insert(flow);
+  }
+  EXPECT_EQ(t.flow_recovered_at.size(), flows.size());
+  // role request per switch + flow-mod per assignment.
+  EXPECT_EQ(t.control_messages,
+            plan.sdn_assignments.size() + plan.mapping.size());
+}
+
+TEST_F(ControlPlaneTest, DetectionTimeoutShiftsEverything) {
+  const core::RecoveryPlan plan = core::run_pm(state_);
+  ControlPlaneConfig fast;
+  fast.detection_timeout_ms = 100.0;
+  ControlPlaneConfig slow;
+  slow.detection_timeout_ms = 500.0;
+  const auto t_fast = simulate_recovery(state_, plan, fast);
+  const auto t_slow = simulate_recovery(state_, plan, slow);
+  EXPECT_NEAR(t_slow.detected_at - t_fast.detected_at, 400.0, 1e-9);
+  EXPECT_NEAR(t_slow.completed_at - t_fast.completed_at, 400.0, 1e-6);
+}
+
+TEST_F(ControlPlaneTest, MiddleLayerSlowsPgDown) {
+  const core::RecoveryPlan pm_plan = core::run_pm(state_);
+  const core::RecoveryPlan pg_plan = core::run_pg(state_);
+  ControlPlaneConfig cfg;
+  cfg.plan_compute_ms = 10.0;  // same computation budget for both
+  const auto t_pm = simulate_recovery(state_, pm_plan, cfg);
+  const auto t_pg = simulate_recovery(state_, pg_plan, cfg);
+  EXPECT_GT(t_pg.total_recovery_ms(), t_pm.total_recovery_ms());
+}
+
+TEST_F(ControlPlaneTest, InvalidPlanRejected) {
+  core::RecoveryPlan bogus;
+  bogus.mapping[13] = 0;  // switch 13 offline, controller 0 active — but
+  bogus.sdn_assignments.insert({13, -1});  // flow id is nonsense
+  EXPECT_THROW(simulate_recovery(state_, bogus), std::exception);
+}
+
+TEST_F(ControlPlaneTest, ExplicitComputeBudgetOverridesPlanTime) {
+  const core::RecoveryPlan plan = core::run_pm(state_);
+  ControlPlaneConfig cfg;
+  cfg.plan_compute_ms = 1234.0;
+  const auto t = simulate_recovery(state_, plan, cfg);
+  EXPECT_NEAR(t.plan_ready_at - t.detected_at, 1234.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pm::sim

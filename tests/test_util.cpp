@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace pm::util {
+namespace {
+
+// ---------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------
+
+TEST(Stats, EmptySampleIsAllZero) {
+  const BoxStats s = box_stats({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SingleValue) {
+  const std::vector<double> v{7.0};
+  const BoxStats s = box_stats(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 7.0);
+  EXPECT_EQ(s.q1, 7.0);
+  EXPECT_EQ(s.median, 7.0);
+  EXPECT_EQ(s.q3, 7.0);
+  EXPECT_EQ(s.max, 7.0);
+  EXPECT_EQ(s.mean, 7.0);
+}
+
+TEST(Stats, KnownFiveNumberSummary) {
+  // numpy: q1=2.5, median=4.5, q3=6.5 for 1..8 (type-7 quantiles).
+  const std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8};
+  const BoxStats s = box_stats(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.75);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  EXPECT_DOUBLE_EQ(s.q3, 6.25);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+  EXPECT_DOUBLE_EQ(s.mean, 4.5);
+}
+
+TEST(Stats, UnsortedInputHandled) {
+  const std::vector<double> v{9, 1, 5};
+  const BoxStats s = box_stats(v);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.median, 5.0);
+  EXPECT_EQ(s.max, 9.0);
+}
+
+TEST(Stats, QuantileEdges) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, -0.5), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.5), 4.0);   // clamped
+}
+
+TEST(Stats, StddevMatchesHandComputation) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  // mean 5; sum sq dev = 32; sample variance = 32/7.
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, StddevDegenerate) {
+  EXPECT_EQ(stddev({}), 0.0);
+  const std::vector<double> one{3.0};
+  EXPECT_EQ(stddev(one), 0.0);
+}
+
+TEST(Stats, ToDoublesConvertsIntegers) {
+  const std::vector<int> v{1, 2, 3};
+  const auto d = to_doubles(v);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[2], 3.0);
+}
+
+// ---------------------------------------------------------------------
+// strings
+// ---------------------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsDropsEmptyFields) {
+  const auto parts = split_ws("  alpha\t beta\n gamma  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "alpha");
+  EXPECT_EQ(parts[2], "gamma");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, ParseInt) {
+  long long v = 0;
+  EXPECT_TRUE(parse_int(" 42 ", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int("-7", v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(parse_int("4x", v));
+  EXPECT_FALSE(parse_int("", v));
+  EXPECT_FALSE(parse_int("3.5", v));
+}
+
+TEST(Strings, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(parse_double("-2.5e3", v));
+  EXPECT_DOUBLE_EQ(v, -2500.0);
+  EXPECT_FALSE(parse_double("nanx", v));
+  EXPECT_FALSE(parse_double("", v));
+}
+
+TEST(Strings, JoinAndLowerAndStartsWith) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+}
+
+// ---------------------------------------------------------------------
+// csv
+// ---------------------------------------------------------------------
+
+TEST(Csv, PlainRow) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotingAndEscaping) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"with,comma", "with\"quote", "with\nnewline", "plain"});
+  EXPECT_EQ(out.str(),
+            "\"with,comma\",\"with\"\"quote\",\"with\nnewline\",plain\n");
+}
+
+TEST(Csv, EscapeHelper) {
+  EXPECT_EQ(CsvWriter::escape("ok"), "ok");
+  EXPECT_EQ(CsvWriter::escape("a\"b"), "\"a\"\"b\"");
+}
+
+// ---------------------------------------------------------------------
+// table
+// ---------------------------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"name", "v"});
+  t.add_row({"x", "10"});
+  t.add_row({"longer", "9"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 9  |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RaggedRowsPadded) {
+  TextTable t({"a"});
+  t.add_row({"1", "2", "3"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("| 1 | 2 | 3 |"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// cli
+// ---------------------------------------------------------------------
+
+TEST(Cli, ParsesAllForms) {
+  // Note: a bare "--flag" followed by a non-flag token consumes the token
+  // as its value ("--flag pos" means flag=pos), so boolean flags should
+  // come last or use "--flag=true".
+  const char* argv[] = {"prog", "pos", "--a=1", "--b", "2", "--flag"};
+  CliArgs args(6, argv);
+  EXPECT_EQ(args.get_int("a", 0), 1);
+  EXPECT_EQ(args.get_int("b", 0), 2);
+  EXPECT_TRUE(args.get_bool("flag", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos");
+}
+
+TEST(Cli, FallbacksOnMissingOrMalformed) {
+  const char* argv[] = {"prog", "--n=abc"};
+  CliArgs args(2, argv);
+  EXPECT_EQ(args.get_int("n", 5), 5);
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(args.get_string("missing", "dflt"), "dflt");
+}
+
+TEST(Cli, BoolParsing) {
+  const char* argv[] = {"prog", "--x=yes", "--y=0", "--z=TRUE"};
+  CliArgs args(4, argv);
+  EXPECT_TRUE(args.get_bool("x", false));
+  EXPECT_FALSE(args.get_bool("y", true));
+  EXPECT_TRUE(args.get_bool("z", false));
+}
+
+TEST(Cli, UnusedFlagsReported) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  CliArgs args(3, argv);
+  (void)args.get_int("used", 0);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Cli, NegativeNumberAsSeparateValue) {
+  // "--d -3" : "-3" does not start with "--", so it is the value.
+  const char* argv[] = {"prog", "--d", "-3"};
+  CliArgs args(3, argv);
+  EXPECT_EQ(args.get_int("d", 0), -3);
+}
+
+}  // namespace
+}  // namespace pm::util
