@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_analysis.dir/cascade_analysis.cpp.o"
+  "CMakeFiles/cascade_analysis.dir/cascade_analysis.cpp.o.d"
+  "cascade_analysis"
+  "cascade_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_one_failure.dir/fig4_one_failure.cpp.o"
+  "CMakeFiles/fig4_one_failure.dir/fig4_one_failure.cpp.o.d"
+  "fig4_one_failure"
+  "fig4_one_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_one_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_two_failures.dir/fig5_two_failures.cpp.o"
+  "CMakeFiles/fig5_two_failures.dir/fig5_two_failures.cpp.o.d"
+  "fig5_two_failures"
+  "fig5_two_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_two_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

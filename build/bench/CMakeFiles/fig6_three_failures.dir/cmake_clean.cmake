@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_three_failures.dir/fig6_three_failures.cpp.o"
+  "CMakeFiles/fig6_three_failures.dir/fig6_three_failures.cpp.o.d"
+  "fig6_three_failures"
+  "fig6_three_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_three_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

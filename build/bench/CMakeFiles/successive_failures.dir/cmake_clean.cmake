@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/successive_failures.dir/successive_failures.cpp.o"
+  "CMakeFiles/successive_failures.dir/successive_failures.cpp.o.d"
+  "successive_failures"
+  "successive_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/successive_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_topology.dir/table3_topology.cpp.o"
+  "CMakeFiles/table3_topology.dir/table3_topology.cpp.o.d"
+  "table3_topology"
+  "table3_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

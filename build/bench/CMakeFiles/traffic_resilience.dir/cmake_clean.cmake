@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_resilience.dir/traffic_resilience.cpp.o"
+  "CMakeFiles/traffic_resilience.dir/traffic_resilience.cpp.o.d"
+  "traffic_resilience"
+  "traffic_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/att_failover.dir/att_failover.cpp.o"
+  "CMakeFiles/att_failover.dir/att_failover.cpp.o.d"
+  "att_failover"
+  "att_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/att_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

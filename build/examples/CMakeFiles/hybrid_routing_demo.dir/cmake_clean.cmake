@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_routing_demo.dir/hybrid_routing_demo.cpp.o"
+  "CMakeFiles/hybrid_routing_demo.dir/hybrid_routing_demo.cpp.o.d"
+  "hybrid_routing_demo"
+  "hybrid_routing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_routing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

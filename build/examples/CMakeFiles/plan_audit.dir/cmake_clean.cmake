@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_audit.dir/plan_audit.cpp.o"
+  "CMakeFiles/plan_audit.dir/plan_audit.cpp.o.d"
+  "plan_audit"
+  "plan_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

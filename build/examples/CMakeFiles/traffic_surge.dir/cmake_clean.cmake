@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_surge.dir/traffic_surge.cpp.o"
+  "CMakeFiles/traffic_surge.dir/traffic_surge.cpp.o.d"
+  "traffic_surge"
+  "traffic_surge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_surge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fmssm.cpp" "src/core/CMakeFiles/pm_core.dir/fmssm.cpp.o" "gcc" "src/core/CMakeFiles/pm_core.dir/fmssm.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/pm_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/pm_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/naive.cpp" "src/core/CMakeFiles/pm_core.dir/naive.cpp.o" "gcc" "src/core/CMakeFiles/pm_core.dir/naive.cpp.o.d"
+  "/root/repo/src/core/optimal.cpp" "src/core/CMakeFiles/pm_core.dir/optimal.cpp.o" "gcc" "src/core/CMakeFiles/pm_core.dir/optimal.cpp.o.d"
+  "/root/repo/src/core/pg.cpp" "src/core/CMakeFiles/pm_core.dir/pg.cpp.o" "gcc" "src/core/CMakeFiles/pm_core.dir/pg.cpp.o.d"
+  "/root/repo/src/core/pm_algorithm.cpp" "src/core/CMakeFiles/pm_core.dir/pm_algorithm.cpp.o" "gcc" "src/core/CMakeFiles/pm_core.dir/pm_algorithm.cpp.o.d"
+  "/root/repo/src/core/recovery_plan.cpp" "src/core/CMakeFiles/pm_core.dir/recovery_plan.cpp.o" "gcc" "src/core/CMakeFiles/pm_core.dir/recovery_plan.cpp.o.d"
+  "/root/repo/src/core/reroute.cpp" "src/core/CMakeFiles/pm_core.dir/reroute.cpp.o" "gcc" "src/core/CMakeFiles/pm_core.dir/reroute.cpp.o.d"
+  "/root/repo/src/core/retroflow.cpp" "src/core/CMakeFiles/pm_core.dir/retroflow.cpp.o" "gcc" "src/core/CMakeFiles/pm_core.dir/retroflow.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/pm_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/pm_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/pm_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/pm_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/pm_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/pm_core.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sdwan/CMakeFiles/pm_sdwan.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/pm_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pm_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_core.dir/fmssm.cpp.o"
+  "CMakeFiles/pm_core.dir/fmssm.cpp.o.d"
+  "CMakeFiles/pm_core.dir/metrics.cpp.o"
+  "CMakeFiles/pm_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/pm_core.dir/naive.cpp.o"
+  "CMakeFiles/pm_core.dir/naive.cpp.o.d"
+  "CMakeFiles/pm_core.dir/optimal.cpp.o"
+  "CMakeFiles/pm_core.dir/optimal.cpp.o.d"
+  "CMakeFiles/pm_core.dir/pg.cpp.o"
+  "CMakeFiles/pm_core.dir/pg.cpp.o.d"
+  "CMakeFiles/pm_core.dir/pm_algorithm.cpp.o"
+  "CMakeFiles/pm_core.dir/pm_algorithm.cpp.o.d"
+  "CMakeFiles/pm_core.dir/recovery_plan.cpp.o"
+  "CMakeFiles/pm_core.dir/recovery_plan.cpp.o.d"
+  "CMakeFiles/pm_core.dir/reroute.cpp.o"
+  "CMakeFiles/pm_core.dir/reroute.cpp.o.d"
+  "CMakeFiles/pm_core.dir/retroflow.cpp.o"
+  "CMakeFiles/pm_core.dir/retroflow.cpp.o.d"
+  "CMakeFiles/pm_core.dir/runner.cpp.o"
+  "CMakeFiles/pm_core.dir/runner.cpp.o.d"
+  "CMakeFiles/pm_core.dir/scenario.cpp.o"
+  "CMakeFiles/pm_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/pm_core.dir/serialize.cpp.o"
+  "CMakeFiles/pm_core.dir/serialize.cpp.o.d"
+  "libpm_core.a"
+  "libpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_ctrl.dir/channel.cpp.o"
+  "CMakeFiles/pm_ctrl.dir/channel.cpp.o.d"
+  "CMakeFiles/pm_ctrl.dir/controller.cpp.o"
+  "CMakeFiles/pm_ctrl.dir/controller.cpp.o.d"
+  "CMakeFiles/pm_ctrl.dir/simulation.cpp.o"
+  "CMakeFiles/pm_ctrl.dir/simulation.cpp.o.d"
+  "CMakeFiles/pm_ctrl.dir/switch_agent.cpp.o"
+  "CMakeFiles/pm_ctrl.dir/switch_agent.cpp.o.d"
+  "libpm_ctrl.a"
+  "libpm_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pm_ctrl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_graph.dir/graph.cpp.o"
+  "CMakeFiles/pm_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/pm_graph.dir/k_shortest.cpp.o"
+  "CMakeFiles/pm_graph.dir/k_shortest.cpp.o.d"
+  "CMakeFiles/pm_graph.dir/path_count.cpp.o"
+  "CMakeFiles/pm_graph.dir/path_count.cpp.o.d"
+  "CMakeFiles/pm_graph.dir/shortest_path.cpp.o"
+  "CMakeFiles/pm_graph.dir/shortest_path.cpp.o.d"
+  "libpm_graph.a"
+  "libpm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

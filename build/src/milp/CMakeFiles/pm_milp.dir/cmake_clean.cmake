@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_milp.dir/branch_bound.cpp.o"
+  "CMakeFiles/pm_milp.dir/branch_bound.cpp.o.d"
+  "CMakeFiles/pm_milp.dir/model.cpp.o"
+  "CMakeFiles/pm_milp.dir/model.cpp.o.d"
+  "CMakeFiles/pm_milp.dir/presolve.cpp.o"
+  "CMakeFiles/pm_milp.dir/presolve.cpp.o.d"
+  "CMakeFiles/pm_milp.dir/simplex.cpp.o"
+  "CMakeFiles/pm_milp.dir/simplex.cpp.o.d"
+  "libpm_milp.a"
+  "libpm_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdwan/dataplane.cpp" "src/sdwan/CMakeFiles/pm_sdwan.dir/dataplane.cpp.o" "gcc" "src/sdwan/CMakeFiles/pm_sdwan.dir/dataplane.cpp.o.d"
+  "/root/repo/src/sdwan/failure.cpp" "src/sdwan/CMakeFiles/pm_sdwan.dir/failure.cpp.o" "gcc" "src/sdwan/CMakeFiles/pm_sdwan.dir/failure.cpp.o.d"
+  "/root/repo/src/sdwan/hybrid_switch.cpp" "src/sdwan/CMakeFiles/pm_sdwan.dir/hybrid_switch.cpp.o" "gcc" "src/sdwan/CMakeFiles/pm_sdwan.dir/hybrid_switch.cpp.o.d"
+  "/root/repo/src/sdwan/network.cpp" "src/sdwan/CMakeFiles/pm_sdwan.dir/network.cpp.o" "gcc" "src/sdwan/CMakeFiles/pm_sdwan.dir/network.cpp.o.d"
+  "/root/repo/src/sdwan/ospf.cpp" "src/sdwan/CMakeFiles/pm_sdwan.dir/ospf.cpp.o" "gcc" "src/sdwan/CMakeFiles/pm_sdwan.dir/ospf.cpp.o.d"
+  "/root/repo/src/sdwan/traffic.cpp" "src/sdwan/CMakeFiles/pm_sdwan.dir/traffic.cpp.o" "gcc" "src/sdwan/CMakeFiles/pm_sdwan.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/pm_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

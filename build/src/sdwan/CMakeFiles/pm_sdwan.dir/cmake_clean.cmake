@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_sdwan.dir/dataplane.cpp.o"
+  "CMakeFiles/pm_sdwan.dir/dataplane.cpp.o.d"
+  "CMakeFiles/pm_sdwan.dir/failure.cpp.o"
+  "CMakeFiles/pm_sdwan.dir/failure.cpp.o.d"
+  "CMakeFiles/pm_sdwan.dir/hybrid_switch.cpp.o"
+  "CMakeFiles/pm_sdwan.dir/hybrid_switch.cpp.o.d"
+  "CMakeFiles/pm_sdwan.dir/network.cpp.o"
+  "CMakeFiles/pm_sdwan.dir/network.cpp.o.d"
+  "CMakeFiles/pm_sdwan.dir/ospf.cpp.o"
+  "CMakeFiles/pm_sdwan.dir/ospf.cpp.o.d"
+  "CMakeFiles/pm_sdwan.dir/traffic.cpp.o"
+  "CMakeFiles/pm_sdwan.dir/traffic.cpp.o.d"
+  "libpm_sdwan.a"
+  "libpm_sdwan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_sdwan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_sim.dir/cascade.cpp.o"
+  "CMakeFiles/pm_sim.dir/cascade.cpp.o.d"
+  "CMakeFiles/pm_sim.dir/control_plane.cpp.o"
+  "CMakeFiles/pm_sim.dir/control_plane.cpp.o.d"
+  "CMakeFiles/pm_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/pm_sim.dir/event_queue.cpp.o.d"
+  "libpm_sim.a"
+  "libpm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/abilene.cpp" "src/topo/CMakeFiles/pm_topo.dir/abilene.cpp.o" "gcc" "src/topo/CMakeFiles/pm_topo.dir/abilene.cpp.o.d"
+  "/root/repo/src/topo/att.cpp" "src/topo/CMakeFiles/pm_topo.dir/att.cpp.o" "gcc" "src/topo/CMakeFiles/pm_topo.dir/att.cpp.o.d"
+  "/root/repo/src/topo/generators.cpp" "src/topo/CMakeFiles/pm_topo.dir/generators.cpp.o" "gcc" "src/topo/CMakeFiles/pm_topo.dir/generators.cpp.o.d"
+  "/root/repo/src/topo/geo.cpp" "src/topo/CMakeFiles/pm_topo.dir/geo.cpp.o" "gcc" "src/topo/CMakeFiles/pm_topo.dir/geo.cpp.o.d"
+  "/root/repo/src/topo/gml.cpp" "src/topo/CMakeFiles/pm_topo.dir/gml.cpp.o" "gcc" "src/topo/CMakeFiles/pm_topo.dir/gml.cpp.o.d"
+  "/root/repo/src/topo/placement.cpp" "src/topo/CMakeFiles/pm_topo.dir/placement.cpp.o" "gcc" "src/topo/CMakeFiles/pm_topo.dir/placement.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/topo/CMakeFiles/pm_topo.dir/topology.cpp.o" "gcc" "src/topo/CMakeFiles/pm_topo.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/pm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_topo.dir/abilene.cpp.o"
+  "CMakeFiles/pm_topo.dir/abilene.cpp.o.d"
+  "CMakeFiles/pm_topo.dir/att.cpp.o"
+  "CMakeFiles/pm_topo.dir/att.cpp.o.d"
+  "CMakeFiles/pm_topo.dir/generators.cpp.o"
+  "CMakeFiles/pm_topo.dir/generators.cpp.o.d"
+  "CMakeFiles/pm_topo.dir/geo.cpp.o"
+  "CMakeFiles/pm_topo.dir/geo.cpp.o.d"
+  "CMakeFiles/pm_topo.dir/gml.cpp.o"
+  "CMakeFiles/pm_topo.dir/gml.cpp.o.d"
+  "CMakeFiles/pm_topo.dir/placement.cpp.o"
+  "CMakeFiles/pm_topo.dir/placement.cpp.o.d"
+  "CMakeFiles/pm_topo.dir/topology.cpp.o"
+  "CMakeFiles/pm_topo.dir/topology.cpp.o.d"
+  "libpm_topo.a"
+  "libpm_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

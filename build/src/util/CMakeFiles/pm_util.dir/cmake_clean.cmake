@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_util.dir/cli.cpp.o"
+  "CMakeFiles/pm_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pm_util.dir/csv.cpp.o"
+  "CMakeFiles/pm_util.dir/csv.cpp.o.d"
+  "CMakeFiles/pm_util.dir/json.cpp.o"
+  "CMakeFiles/pm_util.dir/json.cpp.o.d"
+  "CMakeFiles/pm_util.dir/stats.cpp.o"
+  "CMakeFiles/pm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pm_util.dir/strings.cpp.o"
+  "CMakeFiles/pm_util.dir/strings.cpp.o.d"
+  "CMakeFiles/pm_util.dir/table.cpp.o"
+  "CMakeFiles/pm_util.dir/table.cpp.o.d"
+  "libpm_util.a"
+  "libpm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abilene.dir/test_abilene.cpp.o"
+  "CMakeFiles/test_abilene.dir/test_abilene.cpp.o.d"
+  "test_abilene"
+  "test_abilene.pdb"
+  "test_abilene[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abilene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cascade.dir/test_cascade.cpp.o"
+  "CMakeFiles/test_cascade.dir/test_cascade.cpp.o.d"
+  "test_cascade"
+  "test_cascade.pdb"
+  "test_cascade[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ctrl/CMakeFiles/pm_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/pm_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdwan/CMakeFiles/pm_sdwan.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pm_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

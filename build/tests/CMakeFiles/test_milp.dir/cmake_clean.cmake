@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_milp.dir/test_milp.cpp.o"
+  "CMakeFiles/test_milp.dir/test_milp.cpp.o.d"
+  "test_milp"
+  "test_milp.pdb"
+  "test_milp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

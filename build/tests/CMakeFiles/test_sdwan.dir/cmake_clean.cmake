@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdwan.dir/test_sdwan.cpp.o"
+  "CMakeFiles/test_sdwan.dir/test_sdwan.cpp.o.d"
+  "test_sdwan"
+  "test_sdwan.pdb"
+  "test_sdwan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdwan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
