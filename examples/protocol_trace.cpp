@@ -1,10 +1,16 @@
 // protocol_trace — the control-plane protocol end to end: heartbeats,
 // timeout-based failure detection, coordinator election, role handover
 // and flow-mod distribution, with the message counts and timeline a
-// network operator would read off a packet capture.
+// network operator would read off a packet capture. Optionally runs the
+// whole exchange over a lossy channel (seeded fault injection) to show
+// the reliable-delivery machinery at work.
 //
 // Usage: ./build/examples/protocol_trace [--fail=13,20]
-//        [--second-failure-at=3000] [--heartbeat=50] [--timeout=200]
+//        [--second-failure-at=3000] [--until=10000]
+//        [--heartbeat=50] [--timeout=200] [--suspicion-checks=1]
+//        [--retries=5] [--backoff=2] [--rto-margin=60]
+//        [--loss=0.1] [--dup=0.05] [--jitter=20]
+//        [--reorder=0.01] [--reorder-delay=40] [--fault-seed=42]
 #include <iostream>
 #include <set>
 
@@ -20,9 +26,23 @@ int main(int argc, char** argv) {
   util::CliArgs args(argc, argv);
   const std::string fail_spec = args.get_string("fail", "13,20");
   const double second_at = args.get_double("second-failure-at", 3000.0);
+  const double until = args.get_double("until", 10000.0);
   ctrl::ControllerConfig config;
   config.heartbeat_interval_ms = args.get_double("heartbeat", 50.0);
   config.detection_timeout_ms = args.get_double("timeout", 200.0);
+  config.suspicion_checks =
+      static_cast<int>(args.get_int("suspicion-checks", 1));
+  config.max_retries = static_cast<int>(args.get_int("retries", 5));
+  config.retransmit_backoff = args.get_double("backoff", 2.0);
+  config.retransmit_margin_ms = args.get_double("rto-margin", 60.0);
+
+  ctrl::ChannelFaultModel faults;
+  faults.drop_probability = args.get_double("loss", 0.0);
+  faults.duplicate_probability = args.get_double("dup", 0.0);
+  faults.jitter_ms = args.get_double("jitter", 0.0);
+  faults.reorder_probability = args.get_double("reorder", 0.0);
+  faults.reorder_delay_ms = args.get_double("reorder-delay", 40.0);
+  faults.seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 42));
   for (const auto& unused : args.unused()) {
     std::cerr << "warning: unrecognized flag --" << unused << "\n";
   }
@@ -43,11 +63,19 @@ int main(int argc, char** argv) {
         return core::run_pm(state, opts);
       },
       config);
+  simulation.set_fault_model(faults);
 
   // Crash the named controllers: the first at t = 500 ms, any further
   // ones at --second-failure-at (successive-failure mode).
   double at = 500.0;
   std::cout << "=== Control-plane protocol trace ===\n";
+  if (faults.active()) {
+    std::cout << "channel faults: loss=" << faults.drop_probability
+              << " dup=" << faults.duplicate_probability
+              << " jitter=" << util::format_double(faults.jitter_ms, 1)
+              << "ms reorder=" << faults.reorder_probability
+              << " seed=" << faults.seed << "\n";
+  }
   for (int j = 0; j < net.controller_count(); ++j) {
     if (!fail_nodes.contains(net.controller(j).location)) continue;
     std::cout << "scheduling crash of " << net.controller(j).name
@@ -56,7 +84,7 @@ int main(int argc, char** argv) {
     at = second_at;
   }
 
-  const ctrl::SimulationReport report = simulation.run(10000.0);
+  const ctrl::SimulationReport report = simulation.run(until);
 
   std::cout << "\ntimeline:\n"
             << "  first detection   t=" << util::format_double(
@@ -69,7 +97,27 @@ int main(int argc, char** argv) {
             << "  data plane audit  "
             << (report.all_flows_deliverable ? "all flows deliverable ✓"
                                              : "DELIVERY BROKEN")
-            << "\n\nmessages on the control channel:\n";
+            << "\n";
+  if (report.degraded_flows > 0 || report.degraded_switches > 0) {
+    std::cout << "  degraded          " << report.degraded_flows
+              << " flows, " << report.degraded_switches
+              << " switches (legacy fallback)\n";
+  }
+  if (faults.active()) {
+    std::cout << "\nreliable delivery under faults:\n"
+              << "  injected drops    " << report.injected_drops << "\n"
+              << "  injected dups     " << report.injected_duplicates
+              << "\n"
+              << "  reordered         " << report.reordered_messages
+              << "\n"
+              << "  partition drops   " << report.partition_drops << "\n"
+              << "  retransmissions   " << report.retransmissions << "\n"
+              << "  dups suppressed   " << report.duplicates_suppressed
+              << "\n"
+              << "  spurious detects  " << report.spurious_detections
+              << "\n";
+  }
+  std::cout << "\nmessages on the control channel:\n";
   util::TextTable t({"kind", "count"});
   for (const auto& [kind, count] : report.messages_by_kind) {
     t.add_row({kind, std::to_string(count)});

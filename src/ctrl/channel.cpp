@@ -33,7 +33,39 @@ void ControlChannel::detach(EndpointId id) {
   if (it != endpoints_.end()) it->second.attached = false;
 }
 
-void ControlChannel::send(Message m, double extra_latency_ms) {
+void ControlChannel::set_fault_model(const ChannelFaultModel& model) {
+  faults_ = model.active() ? std::make_unique<FaultInjector>(model)
+                           : nullptr;
+}
+
+const FaultStats& ControlChannel::fault_stats() const {
+  static const FaultStats kNone;
+  return faults_ ? faults_->stats() : kNone;
+}
+
+double ControlChannel::path_delay_ms(EndpointId a, EndpointId b) const {
+  const auto ia = endpoints_.find(a);
+  const auto ib = endpoints_.find(b);
+  if (ia == endpoints_.end() || ib == endpoints_.end()) return 0.0;
+  return shortest_delay(ia->second.location, ib->second.location);
+}
+
+std::uint64_t ControlChannel::send(Message m, double extra_latency_ms) {
+  m.seq = ++next_seq_;
+  const std::uint64_t seq = m.seq;
+  dispatch(std::move(m), extra_latency_ms);
+  return seq;
+}
+
+void ControlChannel::resend(Message m, double extra_latency_ms) {
+  if (m.seq == 0) {
+    throw std::logic_error("resend of a message that was never sent");
+  }
+  ++retransmissions_;
+  dispatch(std::move(m), extra_latency_ms);
+}
+
+void ControlChannel::dispatch(Message m, double extra_latency_ms) {
   const auto from = endpoints_.find(m.from);
   if (from == endpoints_.end() || !from->second.attached) {
     throw std::logic_error("send from unattached endpoint " +
@@ -44,19 +76,39 @@ void ControlChannel::send(Message m, double extra_latency_ms) {
     ++dropped_;
     return;
   }
+  const std::string kind = message_kind(m);
   ++sent_;
-  ++by_kind_[message_kind(m)];
+  ++by_kind_[kind];
 
   // Propagation delay between the endpoints' locations over the data
   // network (in-band control), via the precomputed all-pairs distances in
   // Network's delay matrix when one endpoint is a controller; otherwise
   // re-derive from the topology. Both locations are topology nodes, so
   // use the graph distance directly.
-  const double delay =
+  const double base_delay =
       shortest_delay(from->second.location, to->second.location) +
       extra_latency_ms;
+
+  if (!faults_) {
+    deliver_in(base_delay, std::move(m));
+    return;
+  }
+
+  // Fault-injected path. Draw order is fixed (partition, drop, delay,
+  // duplicate) so a given seed replays the identical fault sequence.
+  if (faults_->partitioned(m.from, m.to, queue_->now(), kind)) return;
+  if (faults_->drop(kind)) return;
+  const double jittered = base_delay + faults_->extra_delay(kind);
+  const bool dup = faults_->duplicate(kind);
+  if (dup) {
+    deliver_in(base_delay + faults_->extra_delay(kind), m);
+  }
+  deliver_in(jittered, std::move(m));
+}
+
+void ControlChannel::deliver_in(double delay, Message m) {
   const EndpointId target = m.to;
-  queue_->schedule_in(delay, [this, target, m] {
+  queue_->schedule_in(delay, [this, target, m = std::move(m)] {
     const auto it = endpoints_.find(target);
     if (it == endpoints_.end() || !it->second.attached ||
         !it->second.handler) {

@@ -2,13 +2,22 @@
 // event queue, paying the propagation delay of the shortest path between
 // their locations (in-band control). Per-message statistics are kept for
 // the convergence reports.
+//
+// An optional ChannelFaultModel makes the channel lossy: per-message
+// drops, duplicates, delay jitter, gross reordering and scheduled
+// partition windows, all drawn from one seeded engine so runs are
+// replayable. Without a model the send path is byte-for-byte the
+// fault-free one.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 
+#include "ctrl/fault_model.hpp"
 #include "ctrl/messages.hpp"
 #include "sdwan/network.hpp"
 #include "sim/event_queue.hpp"
@@ -33,11 +42,44 @@ class ControlChannel {
   void detach(EndpointId id);
 
   /// Sends `m` (m.from must be attached); delivery is scheduled after the
-  /// locations' shortest-path delay plus `extra_latency_ms`.
-  void send(Message m, double extra_latency_ms = 0.0);
+  /// locations' shortest-path delay plus `extra_latency_ms`. Assigns
+  /// m.seq from the channel-wide counter and returns it, so a sender that
+  /// wants ack-driven retransmission can resend() the same message.
+  std::uint64_t send(Message m, double extra_latency_ms = 0.0);
+
+  /// Whether `id` is currently attached (known and not detached).
+  bool is_attached(EndpointId id) const {
+    const auto it = endpoints_.find(id);
+    return it != endpoints_.end() && it->second.attached;
+  }
+
+  /// Re-sends an already-sequenced message (ack-driven retransmission):
+  /// same path as send() — faults included — but m.seq is kept so the
+  /// receiver can deduplicate against the original.
+  void resend(Message m, double extra_latency_ms = 0.0);
+
+  /// Arms (or replaces) the fault model; statistics restart. An inert
+  /// model (active() == false) disarms injection entirely.
+  void set_fault_model(const ChannelFaultModel& model);
+
+  /// Injected-fault statistics; zeros when no model is armed.
+  const FaultStats& fault_stats() const;
+
+  /// Propagation delay between two attached endpoints' locations; the
+  /// agents use it to size retransmission timeouts. Returns 0 if either
+  /// endpoint is unknown.
+  double path_delay_ms(EndpointId a, EndpointId b) const;
+
+  /// Drops memoized pairwise delays. Must be called whenever the
+  /// topology/failure state the delays were computed from changes
+  /// (link failures, reweighting); the simulation hooks it from its
+  /// failure events.
+  void invalidate_delays() { delay_cache_.clear(); }
+  std::size_t cached_delay_pairs() const { return delay_cache_.size(); }
 
   std::uint64_t messages_sent() const { return sent_; }
   std::uint64_t messages_dropped() const { return dropped_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
   const std::map<std::string, std::uint64_t>& sent_by_kind() const {
     return by_kind_;
   }
@@ -49,6 +91,8 @@ class ControlChannel {
     bool attached = false;
   };
 
+  void dispatch(Message m, double extra_latency_ms);
+  void deliver_in(double delay, Message m);
   double shortest_delay(sdwan::SwitchId a, sdwan::SwitchId b) const;
 
   const sdwan::Network* net_;
@@ -56,7 +100,10 @@ class ControlChannel {
   std::map<EndpointId, Endpoint> endpoints_;
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t next_seq_ = 0;
   std::map<std::string, std::uint64_t> by_kind_;
+  std::unique_ptr<FaultInjector> faults_;
   mutable std::map<std::pair<sdwan::SwitchId, sdwan::SwitchId>, double>
       delay_cache_;
 };

@@ -34,6 +34,9 @@ void ControllerNode::start() {
 
 void ControllerNode::fail() {
   alive_ = false;
+  cancel_wave_timers();
+  mod_retries_.clear();
+  role_retries_.clear();
   channel_->detach(controller_endpoint(*net_, id_));
 }
 
@@ -57,9 +60,15 @@ void ControllerNode::check_peers() {
   bool newly_suspected = false;
   for (const auto& [peer, heard] : last_heard_) {
     if (suspected_.contains(peer)) continue;
+    // Hysteresis: one late check is not proof of death when the channel
+    // jitters — require `suspicion_checks` consecutive misses.
     if (now - heard > config_.detection_timeout_ms) {
-      suspected_.insert(peer);
-      newly_suspected = true;
+      if (++miss_counts_[peer] >= std::max(config_.suspicion_checks, 1)) {
+        suspected_.insert(peer);
+        newly_suspected = true;
+      }
+    } else {
+      miss_counts_[peer] = 0;
     }
   }
   if (newly_suspected) {
@@ -85,8 +94,15 @@ void ControllerNode::run_recovery() {
       installed_plan_ ? &*installed_plan_ : nullptr;
   core::RecoveryPlan plan = policy_(state, previous);
   ++recoveries_run_;
+  // A new wave supersedes the old one: stale retransmission timers must
+  // not resend a superseded plan's messages.
+  cancel_wave_timers();
+  mod_retries_.clear();
+  role_retries_.clear();
+  ++shared_->wave_epoch;
   shared_->converged_at = -1.0;
   shared_->pending_acks.clear();
+  shared_->pending_roles.clear();
   shared_->wave_active = true;
 
   // Distribute: RoleRequest per adopted switch, then the flow-mods. Every
@@ -100,7 +116,9 @@ void ControllerNode::run_recovery() {
     role.from = controller_endpoint(*net_, adopter);
     role.to = switch_endpoint(sw);
     role.body = RoleRequest{adopter};
-    channel_->send(role);
+    role.seq = channel_->send(role);
+    shared_->pending_roles.insert(sw);
+    arm_role_retry(sw, role);
   }
   for (const auto& [sw, flow] : plan.sdn_assignments) {
     const sdwan::ControllerId adopter = plan.controller_of_assignment(
@@ -124,27 +142,146 @@ void ControllerNode::run_recovery() {
     body.xid = shared_->next_xid++;
     mod.body = body;
     shared_->pending_acks.insert(body.xid);
-    channel_->send(mod, plan.middle_layer_ms);
+    shared_->xid_flow[body.xid] = flow;
+    mod.seq = channel_->send(mod, plan.middle_layer_ms);
+    arm_mod_retry(body.xid, mod, plan.middle_layer_ms);
   }
   installed_plan_ = std::move(plan);
   if (shared_->pending_acks.empty()) shared_->converged_at = queue_->now();
 }
 
+double ControllerNode::initial_rto(const Message& msg,
+                                   double extra) const {
+  // Worst-case fault-free RTT: request propagation (+ any middle-layer
+  // latency) plus the ack's way back, then a safety margin. The first
+  // timer can therefore never fire before the fault-free ack arrives —
+  // with faults disabled retransmission is exactly never triggered.
+  return 2.0 * channel_->path_delay_ms(msg.from, msg.to) + extra +
+         config_.retransmit_margin_ms;
+}
+
+void ControllerNode::arm_mod_retry(std::uint64_t xid, Message msg,
+                                   double extra) {
+  if (config_.max_retries <= 0) return;
+  Retry r;
+  r.msg = std::move(msg);
+  r.extra_latency_ms = extra;
+  r.rto_ms = initial_rto(r.msg, extra);
+  r.epoch = shared_->wave_epoch;
+  r.timer =
+      queue_->schedule_in(r.rto_ms, [this, xid] { on_mod_timer(xid); });
+  mod_retries_[xid] = std::move(r);
+}
+
+void ControllerNode::arm_role_retry(sdwan::SwitchId sw, Message msg) {
+  if (config_.max_retries <= 0) return;
+  Retry r;
+  r.msg = std::move(msg);
+  r.rto_ms = initial_rto(r.msg, 0.0);
+  r.epoch = shared_->wave_epoch;
+  r.timer =
+      queue_->schedule_in(r.rto_ms, [this, sw] { on_role_timer(sw); });
+  role_retries_[sw] = std::move(r);
+}
+
+void ControllerNode::on_mod_timer(std::uint64_t xid) {
+  const auto it = mod_retries_.find(xid);
+  if (it == mod_retries_.end()) return;
+  Retry& r = it->second;
+  if (!alive_ || r.epoch != shared_->wave_epoch ||
+      !shared_->pending_acks.contains(xid)) {
+    mod_retries_.erase(it);
+    return;
+  }
+  if (r.attempts >= config_.max_retries ||
+      !channel_->is_attached(r.msg.from)) {
+    // Give up: the flow degrades to legacy forwarding instead of wedging
+    // the wave; the audit reports it.
+    shared_->pending_acks.erase(xid);
+    const auto flow = shared_->xid_flow.find(xid);
+    if (flow != shared_->xid_flow.end()) {
+      shared_->degraded_flows.insert(flow->second);
+    }
+    mod_retries_.erase(it);
+    maybe_mark_converged();
+    return;
+  }
+  ++r.attempts;
+  channel_->resend(r.msg, r.extra_latency_ms);
+  r.rto_ms *= config_.retransmit_backoff;
+  r.timer =
+      queue_->schedule_in(r.rto_ms, [this, xid] { on_mod_timer(xid); });
+}
+
+void ControllerNode::on_role_timer(sdwan::SwitchId sw) {
+  const auto it = role_retries_.find(sw);
+  if (it == role_retries_.end()) return;
+  Retry& r = it->second;
+  if (!alive_ || r.epoch != shared_->wave_epoch ||
+      !shared_->pending_roles.contains(sw)) {
+    role_retries_.erase(it);
+    return;
+  }
+  if (r.attempts >= config_.max_retries ||
+      !channel_->is_attached(r.msg.from)) {
+    shared_->pending_roles.erase(sw);
+    shared_->degraded_switches.insert(sw);
+    role_retries_.erase(it);
+    return;
+  }
+  ++r.attempts;
+  channel_->resend(r.msg);
+  r.rto_ms *= config_.retransmit_backoff;
+  r.timer =
+      queue_->schedule_in(r.rto_ms, [this, sw] { on_role_timer(sw); });
+}
+
+void ControllerNode::cancel_wave_timers() {
+  for (auto& [xid, r] : mod_retries_) queue_->cancel(r.timer);
+  for (auto& [sw, r] : role_retries_) queue_->cancel(r.timer);
+}
+
+void ControllerNode::maybe_mark_converged() {
+  if (shared_->wave_active && shared_->pending_acks.empty() &&
+      shared_->converged_at < 0) {
+    shared_->converged_at = queue_->now();
+  }
+}
+
 void ControllerNode::on_message(const Message& m) {
   if (!alive_) return;
+  if (seen(m.seq)) {
+    // Channel-injected duplicate (every logical message has a unique
+    // seq; retransmissions reuse it).
+    ++duplicates_suppressed_;
+    return;
+  }
+  if (m.seq != 0) seen_seqs_.insert(m.seq);
   if (const auto* hb = std::get_if<Heartbeat>(&m.body)) {
     last_heard_[hb->from] = queue_->now();
+    miss_counts_[hb->from] = 0;
+    if (suspected_.erase(hb->from) > 0) {
+      // The peer was alive all along — the detector fired on jitter or
+      // loss. Count it; the next detector pass sees the peer live again.
+      ++spurious_detections_;
+    }
     return;
   }
   if (const auto* ack = std::get_if<FlowModAck>(&m.body)) {
     shared_->pending_acks.erase(ack->xid);
-    if (shared_->wave_active && shared_->pending_acks.empty() &&
-        shared_->converged_at < 0) {
-      shared_->converged_at = queue_->now();
+    const auto flow = shared_->xid_flow.find(ack->xid);
+    if (flow != shared_->xid_flow.end()) {
+      // A late ack (e.g. after a retransmission) un-degrades the flow.
+      shared_->degraded_flows.erase(flow->second);
     }
+    maybe_mark_converged();
     return;
   }
-  // RoleReplies are informational here.
+  if (const auto* reply = std::get_if<RoleReply>(&m.body)) {
+    shared_->pending_roles.erase(reply->sw);
+    shared_->degraded_switches.erase(reply->sw);
+    return;
+  }
 }
 
 }  // namespace pm::ctrl

@@ -9,6 +9,18 @@
 // plan — RoleRequests to adopted switches followed by one FlowMod per SDN
 // assignment, all over the control channel with real propagation delays.
 // Convergence is tracked through the switches' acks.
+//
+// Reliable delivery over a lossy channel:
+//  * the failure detector applies hysteresis — a peer is suspected only
+//    after `suspicion_checks` consecutive missed deadlines, so delay
+//    jitter does not fire it spuriously; a heartbeat from a suspected
+//    peer un-suspects it and counts a spurious detection;
+//  * RoleRequests and FlowMods are retransmitted by the coordinator on an
+//    RTT-derived timeout with exponential backoff, up to `max_retries`;
+//  * a message whose retries exhaust degrades gracefully: its xid/switch
+//    is dropped from the wave's pending set (the wave converges instead
+//    of wedging) and the flow/switch is reported as degraded — the
+//    hybrid data plane keeps forwarding it over the legacy/OSPF table.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +28,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <unordered_set>
 #include <vector>
 
 #include "core/recovery_plan.hpp"
@@ -33,17 +46,43 @@ using RecoveryPolicy = std::function<core::RecoveryPlan(
 struct ControllerConfig {
   double heartbeat_interval_ms = 50.0;
   double detection_timeout_ms = 200.0;
+  /// Failure-detector hysteresis: consecutive detector checks a peer
+  /// must miss its deadline before it is suspected. 1 = seed behaviour
+  /// (suspect on the first late check); raise under jitter/loss.
+  int suspicion_checks = 1;
+  /// Retry cap for RoleRequest/FlowMod retransmission; a message still
+  /// unacked after this many retries degrades instead of wedging the
+  /// wave. 0 disables retransmission entirely.
+  int max_retries = 5;
+  /// First retransmission fires at RTT-estimate + this margin; each
+  /// further retry multiplies the timeout by `retransmit_backoff`.
+  double retransmit_margin_ms = 60.0;
+  double retransmit_backoff = 2.0;
 };
 
 /// The controllers' logically centralized data store (the paper's control
 /// plane synchronizes state across controllers): outstanding flow-mod
-/// acks of the current recovery wave, shared by every ControllerNode so
-/// an adopter's ack completes the coordinator's wave.
+/// acks and role replies of the current recovery wave, shared by every
+/// ControllerNode so an adopter's ack completes the coordinator's wave;
+/// plus the cumulative degradation record of messages that exhausted
+/// their retries.
 struct SharedRecoveryState {
   std::set<std::uint64_t> pending_acks;
+  std::set<sdwan::SwitchId> pending_roles;
   std::uint64_t next_xid = 1;
   double converged_at = -1.0;
   bool wave_active = false;
+  /// Bumped per recovery wave; stale retransmission timers from an
+  /// earlier wave observe the mismatch and die.
+  std::uint64_t wave_epoch = 0;
+  /// Which flow each outstanding xid programs (for degradation reports).
+  std::map<std::uint64_t, sdwan::FlowId> xid_flow;
+  /// Flows whose FlowMod retries exhausted: forwarded legacy-only until
+  /// a later wave re-programs them (an ack removes the flow again).
+  std::set<sdwan::FlowId> degraded_flows;
+  /// Switches whose RoleRequest retries exhausted: left orphaned on
+  /// their legacy tables until a later wave re-adopts them.
+  std::set<sdwan::SwitchId> degraded_switches;
 };
 
 class ControllerNode {
@@ -83,11 +122,43 @@ class ControllerNode {
 
   std::uint64_t recoveries_run() const { return recoveries_run_; }
 
+  /// Times this node suspected a peer that later proved alive (its
+  /// heartbeat came through after the detector fired).
+  std::uint64_t spurious_detections() const {
+    return spurious_detections_;
+  }
+
+  /// Received messages whose seq was already processed (channel
+  /// duplicates / redundant retransmissions), suppressed.
+  std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
+
  private:
+  /// One unacked reliable message awaiting retransmission.
+  struct Retry {
+    Message msg;
+    double extra_latency_ms = 0.0;
+    int attempts = 0;
+    double rto_ms = 0.0;
+    std::uint64_t epoch = 0;
+    sim::EventId timer = 0;
+  };
+
   void on_message(const Message& m);
   void beat();
   void check_peers();
   void run_recovery();
+  void arm_mod_retry(std::uint64_t xid, Message msg, double extra);
+  void arm_role_retry(sdwan::SwitchId sw, Message msg);
+  void on_mod_timer(std::uint64_t xid);
+  void on_role_timer(sdwan::SwitchId sw);
+  void cancel_wave_timers();
+  void maybe_mark_converged();
+  double initial_rto(const Message& msg, double extra) const;
+  bool seen(std::uint64_t seq) const {
+    return seq != 0 && seen_seqs_.contains(seq);
+  }
 
   const sdwan::Network* net_;
   sdwan::ControllerId id_;
@@ -100,8 +171,15 @@ class ControllerNode {
   bool alive_ = false;
   std::uint64_t sequence_ = 0;
   std::map<sdwan::ControllerId, double> last_heard_;
+  std::map<sdwan::ControllerId, int> miss_counts_;
   std::set<sdwan::ControllerId> suspected_;
   double first_detection_at_ = -1.0;
+  std::uint64_t spurious_detections_ = 0;
+  std::uint64_t duplicates_suppressed_ = 0;
+  std::unordered_set<std::uint64_t> seen_seqs_;
+
+  std::map<std::uint64_t, Retry> mod_retries_;
+  std::map<sdwan::SwitchId, Retry> role_retries_;
 
   std::optional<core::RecoveryPlan> installed_plan_;
   std::uint64_t recoveries_run_ = 0;

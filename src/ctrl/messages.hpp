@@ -56,6 +56,11 @@ struct Message {
   EndpointId from = -1;
   EndpointId to = -1;
   MessageBody body;
+  /// Channel-assigned sequence number, unique per logical message; a
+  /// retransmission reuses the original's seq so receivers can suppress
+  /// duplicates (both channel-injected copies and redundant retries).
+  /// 0 = not yet assigned.
+  std::uint64_t seq = 0;
 };
 
 /// Human-readable tag for traces ("heartbeat", "flow-mod", ...).

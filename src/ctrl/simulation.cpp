@@ -31,6 +31,11 @@ ControlSimulation::ControlSimulation(const sdwan::Network& net,
 void ControlSimulation::fail_controller_at(sdwan::ControllerId j,
                                            double at_ms) {
   queue_.schedule_at(at_ms, [this, j] {
+    // The channel's memoized pairwise delays were computed against the
+    // pre-failure state; drop them so later sends re-derive (today the
+    // topology itself is unchanged by a controller crash, but any
+    // failure event that reweights/cuts links flows through this hook).
+    channel_.invalidate_delays();
     controllers_[static_cast<std::size_t>(j)]->fail();
     for (sdwan::SwitchId s : net_->controller(j).domain) {
       switches_[static_cast<std::size_t>(s)]->orphan();
@@ -44,8 +49,16 @@ SimulationReport ControlSimulation::run(double until_ms) {
   SimulationReport report;
   report.messages_sent = channel_.messages_sent();
   report.messages_by_kind = channel_.sent_by_kind();
+  report.retransmissions = channel_.retransmissions();
+  const FaultStats& faults = channel_.fault_stats();
+  report.injected_drops = faults.injected_drops;
+  report.injected_duplicates = faults.injected_duplicates;
+  report.reordered_messages = faults.reordered;
+  report.partition_drops = faults.partition_drops;
   for (const auto& c : controllers_) {
+    report.duplicates_suppressed += c->duplicates_suppressed();
     if (!c->alive()) continue;
+    report.spurious_detections += c->spurious_detections();
     if (c->first_detection_at() >= 0 &&
         (report.detected_at < 0 ||
          c->first_detection_at() < report.detected_at)) {
@@ -53,7 +66,12 @@ SimulationReport ControlSimulation::run(double until_ms) {
     }
     report.recovery_waves += c->recoveries_run();
   }
+  for (const auto& a : switches_) {
+    report.duplicates_suppressed += a->duplicates_suppressed();
+  }
   report.converged_at = shared_.converged_at;
+  report.degraded_flows = shared_.degraded_flows.size();
+  report.degraded_switches = shared_.degraded_switches.size();
 
   // Data-plane audit.
   std::set<sdwan::FlowId> flows_with_entries;

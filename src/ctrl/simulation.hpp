@@ -1,9 +1,11 @@
 // Harness wiring the protocol together: dataplane + switch agents +
 // controller nodes over one channel and event queue. Scenarios inject
-// controller crashes at chosen times; the harness runs the clock and
-// reports detection/convergence times, message counts, and a final
-// data-plane audit (every flow still deliverable; recovered flows carry
-// their SDN entries).
+// controller crashes at chosen times — and, optionally, a channel fault
+// model (loss/duplication/jitter/reordering/partitions) — the harness
+// runs the clock and reports detection/convergence times, message and
+// fault counts, and a final data-plane audit (every flow still
+// deliverable; recovered flows carry their SDN entries; degraded flows
+// called out explicitly).
 #pragma once
 
 #include <map>
@@ -12,6 +14,7 @@
 #include <vector>
 
 #include "ctrl/controller.hpp"
+#include "ctrl/fault_model.hpp"
 #include "ctrl/switch_agent.hpp"
 #include "sdwan/dataplane.hpp"
 
@@ -32,6 +35,24 @@ struct SimulationReport {
   bool all_flows_deliverable = false;
   /// Switches adopted by a new master.
   std::size_t adopted_switches = 0;
+
+  // --- Reliable delivery under channel faults ---------------------------
+  /// Ack-driven retransmissions performed (RoleRequest + FlowMod).
+  std::uint64_t retransmissions = 0;
+  /// Received messages suppressed as duplicates (switches+controllers).
+  std::uint64_t duplicates_suppressed = 0;
+  /// Peers suspected and later proven alive, summed over controllers.
+  std::uint64_t spurious_detections = 0;
+  /// Flows whose FlowMod retries exhausted (legacy-forwarded, reported
+  /// instead of wedging the wave).
+  std::size_t degraded_flows = 0;
+  /// Switches whose RoleRequest retries exhausted (left orphaned).
+  std::size_t degraded_switches = 0;
+  /// Channel-injected faults (zero when no fault model is armed).
+  std::uint64_t injected_drops = 0;
+  std::uint64_t injected_duplicates = 0;
+  std::uint64_t reordered_messages = 0;
+  std::uint64_t partition_drops = 0;
 };
 
 class ControlSimulation {
@@ -44,10 +65,18 @@ class ControlSimulation {
   /// sessions drop).
   void fail_controller_at(sdwan::ControllerId j, double at_ms);
 
+  /// Arms the channel fault model. Call before run(); an inert model
+  /// keeps the exact fault-free behaviour.
+  void set_fault_model(const ChannelFaultModel& model) {
+    channel_.set_fault_model(model);
+  }
+
   /// Runs the clock until `until_ms` and produces the report.
   SimulationReport run(double until_ms);
 
   const sdwan::Dataplane& dataplane() const { return dataplane_; }
+  ControlChannel& channel() { return channel_; }
+  const ControlChannel& channel() const { return channel_; }
   const ControllerNode& controller(sdwan::ControllerId j) const {
     return *controllers_.at(static_cast<std::size_t>(j));
   }

@@ -18,20 +18,40 @@ void SwitchAgent::attach() {
 
 void SwitchAgent::on_message(const Message& m) {
   if (const auto* role = std::get_if<RoleRequest>(&m.body)) {
-    master_ = role->controller;
-    master_endpoint_ = m.from;
+    if (seen(m.seq)) {
+      ++duplicates_suppressed_;
+    } else {
+      seen_seqs_.insert(m.seq);
+      master_ = role->controller;
+      master_endpoint_ = m.from;
+    }
+    // Always (re)reply: a duplicate request usually means our first
+    // reply was lost on the way back.
     Message reply;
     reply.from = switch_endpoint(id_);
     reply.to = m.from;
-    reply.body = RoleReply{id_, master_};
+    reply.body = RoleReply{id_, role->controller};
     channel_->send(reply);
     return;
   }
   if (const auto* mod = std::get_if<FlowMod>(&m.body)) {
     // Only the master may program the switch (OpenFlow master role).
-    // A mod from anyone else is silently ignored (no ack), which lets
-    // the harness detect misbehaving plans by non-convergence.
+    // A mod from anyone else is silently ignored (no ack, and the seq is
+    // deliberately NOT marked seen: a retransmission arriving after the
+    // role handover completes must still be applied).
     if (m.from != master_endpoint_) return;
+    if (seen(m.seq)) {
+      // Already applied — the ack got lost. Re-ack without re-applying
+      // (a second install would duplicate the flow-table entry).
+      ++duplicates_suppressed_;
+      Message ack;
+      ack.from = switch_endpoint(id_);
+      ack.to = m.from;
+      ack.body = FlowModAck{id_, mod->xid};
+      channel_->send(ack);
+      return;
+    }
+    seen_seqs_.insert(m.seq);
     if (mod->remove) {
       switch_->remove(mod->entry.match);
     } else {

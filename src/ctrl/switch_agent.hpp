@@ -3,7 +3,15 @@
 // FlowMod installs/removes entries (acked, barrier-style). A switch whose
 // master is gone keeps forwarding with whatever tables it has (that is
 // the whole premise of hybrid recovery: the legacy table keeps working).
+//
+// Reliable delivery: every delivered message carries the channel's
+// sequence number. The agent remembers the seqs it has acted on, so a
+// duplicate (channel-injected copy or controller retransmission) is
+// suppressed instead of re-applied — but still re-acknowledged, because
+// the duplicate usually means the first ack was lost.
 #pragma once
+
+#include <unordered_set>
 
 #include "ctrl/channel.hpp"
 #include "ctrl/messages.hpp"
@@ -37,11 +45,20 @@ class SwitchAgent {
 
   std::uint64_t flow_mods_applied() const { return flow_mods_applied_; }
 
+  /// Messages whose seq was already processed (retransmits + channel
+  /// duplicates) and were therefore not re-applied.
+  std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
+
   /// Wire this agent's handler into the channel.
   void attach();
 
  private:
   void on_message(const Message& m);
+  bool seen(std::uint64_t seq) const {
+    return seq != 0 && seen_seqs_.contains(seq);
+  }
 
   sdwan::SwitchId id_;
   sdwan::HybridSwitch* switch_;
@@ -49,6 +66,8 @@ class SwitchAgent {
   sdwan::ControllerId master_ = -1;
   EndpointId master_endpoint_ = -1;
   std::uint64_t flow_mods_applied_ = 0;
+  std::uint64_t duplicates_suppressed_ = 0;
+  std::unordered_set<std::uint64_t> seen_seqs_;
 };
 
 /// Endpoint id helpers shared by agents and the harness.

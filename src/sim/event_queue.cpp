@@ -4,12 +4,21 @@
 
 namespace pm::sim {
 
-void EventQueue::schedule_at(TimeMs at, std::function<void()> fn) {
-  events_.push({std::max(at, now_), next_seq_++, std::move(fn)});
+EventId EventQueue::schedule_at(TimeMs at, std::function<void()> fn) {
+  const EventId id = next_seq_++;
+  events_.push({std::max(at, now_), id, std::move(fn)});
+  return id;
 }
 
-void EventQueue::schedule_in(TimeMs delay, std::function<void()> fn) {
-  schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
+EventId EventQueue::schedule_in(TimeMs delay, std::function<void()> fn) {
+  return schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_seq_) return false;
+  // Fired events are not tracked, so cancelling one marks a dead id (a
+  // few bytes until process end); callers cancel ids they know pending.
+  return cancelled_.insert(id).second;
 }
 
 std::size_t EventQueue::run(TimeMs until) {
@@ -19,6 +28,10 @@ std::size_t EventQueue::run(TimeMs until) {
     // copy of the function (Entry is cheap apart from the closure).
     Entry e = events_.top();
     events_.pop();
+    if (const auto it = cancelled_.find(e.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
     now_ = e.at;
     ++executed;
     e.fn();

@@ -1,11 +1,18 @@
 // Minimal discrete-event engine: a time-ordered queue of callbacks.
 // Events at equal timestamps fire in scheduling order (stable), which
 // keeps simulations deterministic.
+//
+// schedule_* returns an EventId that can be cancelled: cancellation is
+// lazy (the entry stays queued, its callback is freed and skipped on
+// pop), so it is O(log n) amortized and does not perturb the ordering
+// of surviving events. The protocol agents use it to kill stale
+// retransmission timers when a new recovery wave supersedes an old one.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace pm::sim {
@@ -13,27 +20,36 @@ namespace pm::sim {
 /// Simulated time in milliseconds.
 using TimeMs = double;
 
+/// Handle of a scheduled event; 0 is never a valid id.
+using EventId = std::uint64_t;
+
 class EventQueue {
  public:
   /// Schedules `fn` at absolute time `at` (>= now, else clamped to now).
-  void schedule_at(TimeMs at, std::function<void()> fn);
+  EventId schedule_at(TimeMs at, std::function<void()> fn);
 
   /// Schedules `fn` `delay` ms from now.
-  void schedule_in(TimeMs delay, std::function<void()> fn);
+  EventId schedule_in(TimeMs delay, std::function<void()> fn);
+
+  /// Cancels a pending event so its callback never runs. Returns false
+  /// for never-issued or already-cancelled ids. Cancelling an id that
+  /// already fired is a harmless no-op (ids are monotonic, never reused).
+  bool cancel(EventId id);
 
   TimeMs now() const { return now_; }
 
   /// Runs events until the queue empties or `until` is passed.
-  /// Returns the number of events executed.
+  /// Returns the number of events executed (cancelled entries excluded).
   std::size_t run(TimeMs until = 1e18);
 
   bool empty() const { return events_.empty(); }
+  /// Pending entries, including not-yet-popped cancelled ones.
   std::size_t pending() const { return events_.size(); }
 
  private:
   struct Entry {
     TimeMs at;
-    std::uint64_t seq;  // tie-break: scheduling order
+    std::uint64_t seq;  // tie-break: scheduling order; doubles as EventId
     std::function<void()> fn;
   };
   struct Later {
@@ -43,8 +59,9 @@ class EventQueue {
     }
   };
   std::priority_queue<Entry, std::vector<Entry>, Later> events_;
+  std::unordered_set<EventId> cancelled_;
   TimeMs now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace pm::sim

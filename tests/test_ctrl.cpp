@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "core/pm_algorithm.hpp"
 #include "core/scenario.hpp"
 #include "ctrl/simulation.hpp"
@@ -77,6 +81,226 @@ TEST(Channel, DetachedEndpointDropsInFlight) {
   queue.run();
   EXPECT_EQ(received, 0);
   EXPECT_EQ(channel.messages_dropped(), 1u);
+}
+
+TEST(Channel, SendToDetachedEndpointCountsDrop) {
+  sim::EventQueue queue;
+  ControlChannel channel(att(), queue);
+  int received = 0;
+  channel.attach(0, 0, [&](const Message&) { ++received; });
+  channel.attach(1, 24, [](const Message&) {});
+  channel.detach(0);  // before the send, not merely before delivery
+  Message m;
+  m.from = 1;
+  m.to = 0;
+  m.body = Heartbeat{0, 1};
+  channel.send(m);
+  queue.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(channel.messages_sent(), 1u);
+  EXPECT_EQ(channel.messages_dropped(), 1u);
+}
+
+TEST(Channel, CountsEveryMessageKind) {
+  sim::EventQueue queue;
+  ControlChannel channel(att(), queue);
+  channel.attach(0, 0, [](const Message&) {});
+  channel.attach(1, 24, [](const Message&) {});
+  channel.send({1, 0, Heartbeat{0, 1}});
+  channel.send({1, 0, RoleRequest{2}});
+  channel.send({0, 1, RoleReply{0, 2}});
+  channel.send({1, 0, FlowMod{}});
+  channel.send({0, 1, FlowModAck{0, 7}});
+  queue.run();
+  const auto& kinds = channel.sent_by_kind();
+  ASSERT_EQ(kinds.size(), 5u);
+  EXPECT_EQ(kinds.at("heartbeat"), 1u);
+  EXPECT_EQ(kinds.at("role-request"), 1u);
+  EXPECT_EQ(kinds.at("role-reply"), 1u);
+  EXPECT_EQ(kinds.at("flow-mod"), 1u);
+  EXPECT_EQ(kinds.at("flow-mod-ack"), 1u);
+  EXPECT_EQ(channel.messages_sent(), 5u);
+}
+
+TEST(Channel, ResendKeepsSequenceAndCountsRetransmission) {
+  sim::EventQueue queue;
+  ControlChannel channel(att(), queue);
+  std::vector<std::uint64_t> seqs;
+  channel.attach(0, 0, [&](const Message& m) { seqs.push_back(m.seq); });
+  channel.attach(1, 24, [](const Message&) {});
+  Message m;
+  m.from = 1;
+  m.to = 0;
+  m.body = Heartbeat{0, 1};
+  m.seq = channel.send(m);
+  channel.resend(m);
+  queue.run();
+  EXPECT_EQ(channel.retransmissions(), 1u);
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0], seqs[1]);
+  EXPECT_NE(seqs[0], 0u);
+  Message fresh;
+  fresh.from = 1;
+  fresh.to = 0;
+  fresh.body = Heartbeat{};
+  EXPECT_THROW(channel.resend(fresh), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// Channel fault injection
+// ---------------------------------------------------------------------
+
+TEST(Channel, CertainDropLosesEverythingAndIsCounted) {
+  sim::EventQueue queue;
+  ControlChannel channel(att(), queue);
+  int received = 0;
+  channel.attach(0, 0, [&](const Message&) { ++received; });
+  channel.attach(1, 24, [](const Message&) {});
+  ChannelFaultModel model;
+  model.drop_probability = 1.0;
+  channel.set_fault_model(model);
+  for (int i = 0; i < 10; ++i) {
+    channel.send({1, 0, Heartbeat{0, static_cast<std::uint64_t>(i)}});
+  }
+  queue.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(channel.messages_sent(), 10u);  // sends are still accounted
+  EXPECT_EQ(channel.messages_dropped(), 0u);  // injected loss is separate
+  EXPECT_EQ(channel.fault_stats().injected_drops, 10u);
+  EXPECT_EQ(channel.fault_stats().by_kind.at("heartbeat").drops, 10u);
+}
+
+TEST(Channel, CertainDuplicationDeliversTwiceWithSameSeq) {
+  sim::EventQueue queue;
+  ControlChannel channel(att(), queue);
+  std::vector<std::uint64_t> seqs;
+  channel.attach(0, 0, [&](const Message& m) { seqs.push_back(m.seq); });
+  channel.attach(1, 24, [](const Message&) {});
+  ChannelFaultModel model;
+  model.duplicate_probability = 1.0;
+  channel.set_fault_model(model);
+  channel.send({1, 0, Heartbeat{0, 1}});
+  queue.run();
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0], seqs[1]);
+  EXPECT_EQ(channel.fault_stats().injected_duplicates, 1u);
+}
+
+TEST(Channel, ReorderHoldbackDelaysDelivery) {
+  sim::EventQueue queue;
+  ControlChannel channel(att(), queue);
+  double received_at = -1.0;
+  channel.attach(0, 0, [&](const Message&) { received_at = queue.now(); });
+  channel.attach(1, 13, [](const Message&) {});
+  ChannelFaultModel model;
+  model.reorder_probability = 1.0;
+  model.reorder_delay_ms = 100.0;
+  channel.set_fault_model(model);
+  channel.send({1, 0, Heartbeat{0, 1}});
+  queue.run();
+  const double base = graph::dijkstra(att().topology().graph(), 13).dist[0];
+  EXPECT_NEAR(received_at, base + 100.0, 1e-9);
+  EXPECT_EQ(channel.fault_stats().reordered, 1u);
+}
+
+TEST(Channel, JitterReordersBackToBackMessages) {
+  sim::EventQueue queue;
+  ControlChannel channel(att(), queue);
+  std::vector<std::uint64_t> seqs;
+  channel.attach(0, 0, [&](const Message& m) { seqs.push_back(m.seq); });
+  channel.attach(1, 24, [](const Message&) {});
+  ChannelFaultModel model;
+  model.seed = 7;
+  model.jitter_ms = 30.0;
+  channel.set_fault_model(model);
+  for (int i = 0; i < 20; ++i) {
+    channel.send({1, 0, Heartbeat{0, static_cast<std::uint64_t>(i)}});
+  }
+  queue.run();
+  ASSERT_EQ(seqs.size(), 20u);
+  EXPECT_FALSE(std::is_sorted(seqs.begin(), seqs.end()))
+      << "30 ms jitter on back-to-back sends must invert some pair";
+}
+
+TEST(Channel, PartitionWindowCutsPairForItsInterval) {
+  sim::EventQueue queue;
+  ControlChannel channel(att(), queue);
+  int received = 0;
+  channel.attach(0, 0, [&](const Message&) { ++received; });
+  channel.attach(1, 24, [](const Message&) {});
+  ChannelFaultModel model;
+  model.partitions.push_back({0, 1, 100.0, 200.0});
+  channel.set_fault_model(model);
+  const auto send_heartbeat = [&] {
+    channel.send({1, 0, Heartbeat{0, 1}});
+  };
+  send_heartbeat();  // t=0: before the window
+  queue.schedule_at(150.0, send_heartbeat);  // inside: cut
+  queue.schedule_at(250.0, send_heartbeat);  // after: healed
+  queue.run();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(channel.fault_stats().partition_drops, 1u);
+}
+
+TEST(Channel, WildcardPartitionIsolatesOneEndpoint) {
+  PartitionWindow w;
+  w.b = 5;
+  w.from_ms = 0.0;
+  w.to_ms = 10.0;
+  EXPECT_TRUE(w.cuts(3, 5, 1.0));
+  EXPECT_TRUE(w.cuts(5, 3, 1.0));   // symmetric
+  EXPECT_FALSE(w.cuts(3, 4, 1.0));  // pair not involving 5
+  EXPECT_FALSE(w.cuts(3, 5, 10.0));  // window closed (half-open)
+}
+
+TEST(Channel, FaultSequenceIsSeedReproducible) {
+  const auto run_once = [] {
+    sim::EventQueue queue;
+    ControlChannel channel(att(), queue);
+    std::vector<std::pair<std::uint64_t, double>> deliveries;
+    channel.attach(0, 0, [&](const Message& m) {
+      deliveries.emplace_back(m.seq, queue.now());
+    });
+    channel.attach(1, 24, [](const Message&) {});
+    ChannelFaultModel model;
+    model.seed = 7;
+    model.drop_probability = 0.3;
+    model.duplicate_probability = 0.3;
+    model.jitter_ms = 10.0;
+    model.reorder_probability = 0.2;
+    model.reorder_delay_ms = 40.0;
+    channel.set_fault_model(model);
+    for (int i = 0; i < 100; ++i) {
+      channel.send({1, 0, Heartbeat{0, static_cast<std::uint64_t>(i)}});
+    }
+    queue.run();
+    return std::pair{deliveries, channel.fault_stats()};
+  };
+  const auto [first, first_stats] = run_once();
+  const auto [second, second_stats] = run_once();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first_stats.injected_drops, second_stats.injected_drops);
+  EXPECT_EQ(first_stats.injected_duplicates,
+            second_stats.injected_duplicates);
+  EXPECT_EQ(first_stats.reordered, second_stats.reordered);
+  EXPECT_GT(first_stats.injected_drops, 0u);
+  EXPECT_GT(first_stats.injected_duplicates, 0u);
+}
+
+TEST(Channel, DelayCacheInvalidationForcesRecompute) {
+  sim::EventQueue queue;
+  ControlChannel channel(att(), queue);
+  channel.attach(0, 0, [](const Message&) {});
+  channel.attach(1, 24, [](const Message&) {});
+  EXPECT_EQ(channel.cached_delay_pairs(), 0u);
+  channel.send({1, 0, Heartbeat{0, 1}});
+  const std::size_t populated = channel.cached_delay_pairs();
+  EXPECT_GT(populated, 0u);
+  channel.invalidate_delays();
+  EXPECT_EQ(channel.cached_delay_pairs(), 0u);
+  channel.send({1, 0, Heartbeat{0, 2}});
+  EXPECT_EQ(channel.cached_delay_pairs(), populated);
+  queue.run();
 }
 
 // ---------------------------------------------------------------------
@@ -172,6 +396,187 @@ TEST(ControlSimulation, OrphanedSwitchesKeepForwarding) {
     const auto trace = simulation.dataplane().trace(f.src, {f.src, f.dst});
     ASSERT_TRUE(trace.delivered) << trace.failure_reason;
   }
+}
+
+// ---------------------------------------------------------------------
+// Reliable delivery under channel faults
+// ---------------------------------------------------------------------
+
+TEST(ControlSimulation, FailureEventInvalidatesDelayCache) {
+  ControlSimulation simulation(att(), pm_policy());
+  simulation.fail_controller_at(3, 500.0);
+  // Probe scheduled AFTER fail_controller_at: at t=500 it runs after the
+  // failure event (stable tie-break) but before any same-instant beats
+  // scheduled later during the run, observing the just-invalidated cache.
+  std::size_t at_failure = static_cast<std::size_t>(-1);
+  simulation.queue().schedule_at(500.0, [&] {
+    at_failure = simulation.channel().cached_delay_pairs();
+  });
+  simulation.queue().run(400.0);
+  EXPECT_GT(simulation.channel().cached_delay_pairs(), 0u);
+  simulation.queue().run(600.0);
+  EXPECT_EQ(at_failure, 0u);
+}
+
+TEST(ControlSimulation, DuplicatedDeliveriesAreSuppressedNotReapplied) {
+  ControlSimulation clean(att(), pm_policy());
+  clean.fail_controller_at(3, 500.0);
+  const SimulationReport clean_report = clean.run(5000.0);
+
+  ControlSimulation noisy(att(), pm_policy());
+  ChannelFaultModel faults;
+  faults.duplicate_probability = 1.0;  // every message delivered twice
+  noisy.set_fault_model(faults);
+  noisy.fail_controller_at(3, 500.0);
+  const SimulationReport noisy_report = noisy.run(5000.0);
+
+  EXPECT_GT(noisy_report.duplicates_suppressed, 0u);
+  EXPECT_EQ(clean_report.duplicates_suppressed, 0u);
+  EXPECT_TRUE(noisy_report.all_flows_deliverable);
+  // Dedup means duplication changes no protocol outcome: same entries
+  // installed, no double-applied flow-mods.
+  EXPECT_EQ(noisy_report.flows_with_entries,
+            clean_report.flows_with_entries);
+  std::uint64_t clean_mods = 0;
+  std::uint64_t noisy_mods = 0;
+  for (int s = 0; s < att().switch_count(); ++s) {
+    clean_mods += clean.switch_agent(s).flow_mods_applied();
+    noisy_mods += noisy.switch_agent(s).flow_mods_applied();
+    EXPECT_EQ(noisy.dataplane().at(s).flow_table_size(),
+              clean.dataplane().at(s).flow_table_size())
+        << "switch " << s;
+  }
+  EXPECT_EQ(noisy_mods, clean_mods);
+}
+
+TEST(ControlSimulation, ChaosTwoFailuresStillConverge) {
+  // The acceptance scenario: 10% loss + 20 ms jitter (+ a little
+  // duplication), fixed seed, two successive controller failures. The
+  // reliable-delivery layer must still converge the waves and keep every
+  // flow deliverable, with the repair work visible in the report.
+  ctrl::ControllerConfig config;
+  config.suspicion_checks = 3;  // hysteresis sized for the jitter
+  ControlSimulation simulation(att(), pm_policy(), config);
+  ChannelFaultModel faults;
+  faults.seed = 42;
+  faults.drop_probability = 0.10;
+  faults.jitter_ms = 20.0;
+  faults.duplicate_probability = 0.02;
+  simulation.set_fault_model(faults);
+  simulation.fail_controller_at(3, 500.0);
+  simulation.fail_controller_at(4, 3000.0);
+  const SimulationReport report = simulation.run(20000.0);
+
+  EXPECT_GT(report.detected_at, 500.0);
+  EXPECT_GT(report.converged_at, 3000.0);
+  EXPECT_GE(report.recovery_waves, 2u);
+  EXPECT_TRUE(report.all_flows_deliverable);
+  EXPECT_EQ(report.degraded_flows, 0u);
+  // The repair machinery did real work and the report shows it.
+  EXPECT_GT(report.injected_drops, 0u);
+  EXPECT_GT(report.retransmissions, 0u);
+  EXPECT_GT(report.duplicates_suppressed, 0u);
+  // Lost flow-mods were retransmitted until acked: the plan is fully
+  // installed despite the lossy channel.
+  const auto& coordinator = simulation.controller(0);
+  ASSERT_TRUE(coordinator.installed_plan().has_value());
+  for (const auto& [sw, adopter] : coordinator.installed_plan()->mapping) {
+    EXPECT_EQ(simulation.switch_agent(sw).master(), adopter)
+        << "switch " << sw;
+  }
+}
+
+TEST(ControlSimulation, ChaosRunsAreSeedDeterministic) {
+  const auto run_once = [] {
+    ctrl::ControllerConfig config;
+    config.suspicion_checks = 3;
+    ControlSimulation simulation(att(), pm_policy(), config);
+    ChannelFaultModel faults;
+    faults.seed = 1234;
+    faults.drop_probability = 0.10;
+    faults.jitter_ms = 20.0;
+    faults.duplicate_probability = 0.05;
+    simulation.set_fault_model(faults);
+    simulation.fail_controller_at(3, 500.0);
+    simulation.fail_controller_at(4, 3000.0);
+    return simulation.run(20000.0);
+  };
+  const SimulationReport a = run_once();
+  const SimulationReport b = run_once();
+  EXPECT_EQ(a.detected_at, b.detected_at);
+  EXPECT_EQ(a.converged_at, b.converged_at);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.duplicates_suppressed, b.duplicates_suppressed);
+  EXPECT_EQ(a.injected_drops, b.injected_drops);
+  EXPECT_EQ(a.injected_duplicates, b.injected_duplicates);
+  EXPECT_EQ(a.degraded_flows, b.degraded_flows);
+}
+
+TEST(ControlSimulation, PartitionCausesSpuriousDetectionThenRecovers) {
+  // Cut the heartbeat path between controllers 0 and 1 for 600 ms: both
+  // are alive the whole time, so the detector's firing is spurious and
+  // must be recognized as such when the heartbeats come back.
+  ControlSimulation simulation(att(), pm_policy());
+  ChannelFaultModel faults;
+  faults.partitions.push_back({controller_endpoint(att(), 0),
+                               controller_endpoint(att(), 1), 1000.0,
+                               1600.0});
+  simulation.set_fault_model(faults);
+  const SimulationReport report = simulation.run(5000.0);
+
+  EXPECT_GT(report.partition_drops, 0u);
+  EXPECT_GE(report.spurious_detections, 1u);
+  EXPECT_TRUE(simulation.controller(0).alive());
+  EXPECT_TRUE(simulation.controller(1).alive());
+  // Once heartbeats resumed, nobody stays falsely suspected.
+  EXPECT_FALSE(simulation.controller(0).suspected().contains(1));
+  EXPECT_FALSE(simulation.controller(1).suspected().contains(0));
+  EXPECT_TRUE(report.all_flows_deliverable);
+}
+
+TEST(ControlSimulation, HysteresisRidesOutShortPartitions) {
+  // A shorter 400 ms partition with 6-check hysteresis: heartbeats
+  // resume (and reset the miss count) before six consecutive detector
+  // checks ever miss, so the detector never fires at all.
+  ctrl::ControllerConfig config;
+  config.suspicion_checks = 6;
+  ControlSimulation simulation(att(), pm_policy(), config);
+  ChannelFaultModel faults;
+  faults.partitions.push_back({controller_endpoint(att(), 0),
+                               controller_endpoint(att(), 1), 1000.0,
+                               1400.0});
+  simulation.set_fault_model(faults);
+  const SimulationReport report = simulation.run(5000.0);
+  EXPECT_EQ(report.spurious_detections, 0u);
+  EXPECT_EQ(report.recovery_waves, 0u);
+  EXPECT_LT(report.detected_at, 0.0);
+}
+
+TEST(ControlSimulation, ExhaustedRetriesDegradeInsteadOfWedging) {
+  // Permanently cut every switch of the failed controller's domain off
+  // the control plane: RoleRequests and FlowMods to them can never be
+  // delivered, so their retries must exhaust, degrade the affected
+  // flows/switches, and still let the wave converge.
+  ControlSimulation simulation(att(), pm_policy());
+  ChannelFaultModel faults;
+  for (sdwan::SwitchId s : att().controller(3).domain) {
+    faults.partitions.push_back(
+        {PartitionWindow::kAnyEndpoint, switch_endpoint(s), 0.0, 1e12});
+  }
+  simulation.set_fault_model(faults);
+  simulation.fail_controller_at(3, 500.0);
+  const SimulationReport report = simulation.run(20000.0);
+
+  EXPECT_GE(report.degraded_switches, 1u);
+  EXPECT_GE(report.degraded_flows, 1u);
+  EXPECT_GT(report.retransmissions, 0u);
+  // The wave converged (modulo the explicitly-degraded messages) rather
+  // than hanging forever on unreachable switches...
+  EXPECT_GT(report.converged_at, 0.0);
+  // ...and the hybrid data plane still delivers everything over the
+  // legacy tables.
+  EXPECT_TRUE(report.all_flows_deliverable);
 }
 
 }  // namespace

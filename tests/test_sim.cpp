@@ -49,6 +49,34 @@ TEST(EventQueue, RelativeSchedulingAndCascade) {
   EXPECT_DOUBLE_EQ(times[1], 5.0);
 }
 
+TEST(EventQueue, CancelledEventNeverFires) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  const EventId doomed = q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.cancel(doomed));
+  EXPECT_FALSE(q.cancel(doomed));  // already cancelled
+  EXPECT_EQ(q.run(), 2u);          // cancelled entry is not counted
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelUnknownIdIsRejected) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(0));
+  EXPECT_FALSE(q.cancel(12345));  // never issued
+}
+
+TEST(EventQueue, CancelFromInsideAnEarlierEvent) {
+  EventQueue q;
+  int fired = 0;
+  const EventId later = q.schedule_at(5.0, [&] { ++fired; });
+  q.schedule_at(1.0, [&] { q.cancel(later); });
+  q.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);  // the cancelled tail never advances time
+}
+
 TEST(EventQueue, RunUntilStopsEarly) {
   EventQueue q;
   int fired = 0;
