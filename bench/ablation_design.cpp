@@ -60,8 +60,9 @@ void add_row(util::TextTable& t, const std::string& name,
 
 int main(int argc, char** argv) {
   util::CliArgs args(argc, argv);
+  const obs::ObsOptions obs_options = obs::parse_obs_flags(args);
   for (const auto& unused : args.unused()) {
-    std::cerr << "warning: unrecognized flag --" << unused << "\n";
+    obs::log().warn("unrecognized flag --" + unused);
   }
 
   std::cout << "=== Ablation: PM design choices (two-failure sweep means) "
@@ -173,5 +174,6 @@ int main(int argc, char** argv) {
     std::cout << "(small lambda preserves the two-stage priority of r; "
                  "large lambda trades balance for raw total)\n";
   }
+  obs::write_profile(obs_options);
   return 0;
 }

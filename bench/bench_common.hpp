@@ -2,9 +2,12 @@
 //
 // Each bench regenerates one table/figure of the paper as aligned text
 // tables (the same series a plot would show) and, with --csv=<path>,
-// dumps machine-readable rows for external replotting.
+// dumps machine-readable rows for external replotting. CSV files start
+// with a `#`-comment run-metadata block (command line, build type,
+// wall-clock timestamp) so an exported artifact is self-describing.
 #pragma once
 
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -13,6 +16,7 @@
 
 #include "core/runner.hpp"
 #include "core/scenario.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
@@ -44,6 +48,11 @@ struct BenchOptions {
   double optimal_time_limit = 20.0;
   std::optional<std::string> csv_path;
   int retroflow_candidates = 1;
+  /// Observability flags (--log-level, --profile-out, ...), applied to
+  /// the global logger/profiler by parse_bench_options.
+  obs::ObsOptions obs;
+  /// The invocation, verbatim, for the CSV metadata block.
+  std::string command_line;
 
   core::RunnerOptions runner() const {
     core::RunnerOptions opts;
@@ -57,15 +66,64 @@ inline BenchOptions parse_bench_options(int argc, char** argv,
                                         double default_time_limit) {
   util::CliArgs args(argc, argv);
   BenchOptions o;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) o.command_line += ' ';
+    o.command_line += argv[i];
+  }
+  o.obs = obs::parse_obs_flags(args);
   o.optimal_time_limit =
       args.get_double("optimal-time", default_time_limit);
   o.run_optimal = !args.get_bool("no-optimal", false) &&
                   !args.get_bool("quick", false);
   if (args.has("csv")) o.csv_path = args.get_string("csv", "");
   for (const auto& unused : args.unused()) {
-    std::cerr << "warning: unrecognized flag --" << unused << "\n";
+    obs::log().warn("unrecognized flag --" + unused);
   }
   return o;
+}
+
+/// Run metadata stamped into every bench CSV: enough to re-run the
+/// exact configuration and to tell apart Release/Debug artifacts. The
+/// timestamp is wall-clock (UTC) and therefore the one deliberately
+/// non-deterministic line.
+struct RunMetadata {
+  std::string experiment;
+  std::string command_line;
+  std::string build_type;
+  std::string timestamp_utc;
+};
+
+inline RunMetadata make_run_metadata(const BenchOptions& options,
+                                     const std::string& experiment) {
+  RunMetadata meta;
+  meta.experiment = experiment;
+  meta.command_line = options.command_line;
+#ifdef PM_BUILD_TYPE
+  meta.build_type = PM_BUILD_TYPE;
+#endif
+  std::time_t now = std::time(nullptr);
+  char buf[32];
+  if (std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ",
+                    std::gmtime(&now)) > 0) {
+    meta.timestamp_utc = buf;
+  }
+  return meta;
+}
+
+/// Writes the metadata block as `#`-comment lines (readers that reject
+/// comments can skip lines starting with '#').
+inline void write_metadata_comments(std::ostream& out,
+                                    const RunMetadata& meta) {
+  out << "# experiment: " << meta.experiment << "\n";
+  if (!meta.command_line.empty()) {
+    out << "# command: " << meta.command_line << "\n";
+  }
+  if (!meta.build_type.empty()) {
+    out << "# build_type: " << meta.build_type << "\n";
+  }
+  if (!meta.timestamp_utc.empty()) {
+    out << "# generated_at: " << meta.timestamp_utc << "\n";
+  }
 }
 
 /// Writes per-case/algorithm metric rows as CSV if requested.
@@ -74,6 +132,7 @@ inline void maybe_write_csv(const BenchOptions& options,
                             const std::vector<core::CaseResult>& results) {
   if (!options.csv_path) return;
   std::ofstream out(*options.csv_path);
+  write_metadata_comments(out, make_run_metadata(options, experiment));
   util::CsvWriter csv(out);
   csv.write_row({"experiment", "case", "algorithm", "least_programmability",
                  "total_programmability", "recovered_flow_pct",

@@ -19,8 +19,9 @@ int main(int argc, char** argv) {
   using namespace pm;
   util::CliArgs args(argc, argv);
   const double tolerance = args.get_double("tolerance", 0.0);
+  const obs::ObsOptions obs_options = obs::parse_obs_flags(args);
   for (const auto& unused : args.unused()) {
-    std::cerr << "warning: unrecognized flag --" << unused << "\n";
+    obs::log().warn("unrecognized flag --" + unused);
   }
 
   const sdwan::Network net = core::make_att_network();
@@ -68,5 +69,6 @@ int main(int argc, char** argv) {
               << pm_cascades << " (PM respects Eq. (3), so 0 by "
                  "construction)\n";
   }
+  obs::write_profile(obs_options);
   return 0;
 }

@@ -12,12 +12,19 @@
 //
 // Usage: ./build/bench/chaos_convergence [--seed=42] [--dup=0.02]
 //        [--until=20000] [--csv=chaos.csv] [--json]
+//        [--trace-out=t.json] [--metrics-out=m.prom] [--log-level=info]
+//
+// The observability flags apply to the harshest cell of the sweep
+// (highest loss + jitter) so the exported trace shows the
+// reliable-delivery machinery at its busiest; the sweep table, CSV and
+// JSON outputs are byte-identical with or without them.
 #include <iostream>
 #include <vector>
 
 #include "core/pm_algorithm.hpp"
 #include "core/scenario.hpp"
 #include "ctrl/simulation.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
@@ -39,7 +46,8 @@ struct Cell {
 pm::ctrl::SimulationReport run_cell(const pm::sdwan::Network& net,
                                     double loss, double jitter_ms,
                                     double dup, std::uint64_t seed,
-                                    double until_ms) {
+                                    double until_ms,
+                                    const pm::obs::ObsOptions* obs) {
   pm::ctrl::ControllerConfig config;
   // Hysteresis sized for the sweep's jitter range: three consecutive
   // missed detector checks before suspecting a peer.
@@ -59,9 +67,17 @@ pm::ctrl::SimulationReport run_cell(const pm::sdwan::Network& net,
   faults.duplicate_probability = dup;
   faults.jitter_ms = jitter_ms;
   simulation.set_fault_model(faults);
+  if (obs != nullptr) {
+    simulation.observability().tracer.set_enabled(obs->tracing_requested());
+    simulation.observability().detailed_metrics = obs->detailed_requested();
+  }
   simulation.fail_controller_at(3, 500.0);   // C13
   simulation.fail_controller_at(4, 3000.0);  // C20
-  return simulation.run(until_ms);
+  const pm::ctrl::SimulationReport report = simulation.run(until_ms);
+  if (obs != nullptr) {
+    pm::obs::write_outputs(*obs, simulation.observability());
+  }
+  return report;
 }
 
 }  // namespace
@@ -76,8 +92,9 @@ int main(int argc, char** argv) {
   std::optional<std::string> csv_path;
   if (args.has("csv")) csv_path = args.get_string("csv", "");
   const bool as_json = args.get_bool("json", false);
+  const obs::ObsOptions obs_options = obs::parse_obs_flags(args);
   for (const auto& unused : args.unused()) {
-    std::cerr << "warning: unrecognized flag --" << unused << "\n";
+    obs::log().warn("unrecognized flag --" + unused);
   }
 
   const std::vector<double> losses = {0.0, 0.02, 0.05, 0.10, 0.20};
@@ -87,8 +104,11 @@ int main(int argc, char** argv) {
   std::vector<Cell> cells;
   for (const double jitter : jitters) {
     for (const double loss : losses) {
-      cells.push_back(
-          {loss, jitter, run_cell(net, loss, jitter, dup, seed, until)});
+      // The observability sinks ride on the last (harshest) cell.
+      const bool last = jitter == jitters.back() && loss == losses.back();
+      cells.push_back({loss, jitter,
+                       run_cell(net, loss, jitter, dup, seed, until,
+                                last ? &obs_options : nullptr)});
     }
   }
 

@@ -23,8 +23,7 @@ int main(int argc, char** argv) {
   for (const auto& r : results) {
     for (const auto& [algo, violations] : r.violations) {
       for (const auto& v : violations) {
-        std::cerr << "INVALID PLAN " << r.label << "/" << algo << ": " << v
-                  << "\n";
+        obs::log().error("INVALID PLAN " + r.label + "/" + algo + ": " + v);
       }
     }
   }
@@ -34,5 +33,6 @@ int main(int argc, char** argv) {
                               /*with_controller_loads=*/false);
   bench::print_improvement_summary(results);
   bench::maybe_write_csv(options, "fig4", results);
+  obs::write_profile(options.obs);
   return 0;
 }

@@ -23,8 +23,7 @@ int main(int argc, char** argv) {
   for (const auto& r : results) {
     for (const auto& [algo, violations] : r.violations) {
       for (const auto& v : violations) {
-        std::cerr << "INVALID PLAN " << r.label << "/" << algo << ": " << v
-                  << "\n";
+        obs::log().error("INVALID PLAN " + r.label + "/" + algo + ": " + v);
       }
     }
   }
@@ -47,5 +46,6 @@ int main(int argc, char** argv) {
               << bench::num(options.optimal_time_limit, 0) << "s)\n";
   }
   bench::maybe_write_csv(options, "fig6", results);
+  obs::write_profile(options.obs);
   return 0;
 }

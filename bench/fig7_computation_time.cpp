@@ -18,8 +18,9 @@ int main(int argc, char** argv) {
   util::CliArgs args(argc, argv);
   const double time_limit = args.get_double("optimal-time", 10.0);
   const std::string cases = args.get_string("cases", "1,2,3");
+  const obs::ObsOptions obs_options = obs::parse_obs_flags(args);
   for (const auto& unused : args.unused()) {
-    std::cerr << "warning: unrecognized flag --" << unused << "\n";
+    obs::log().warn("unrecognized flag --" + unused);
   }
 
   const sdwan::Network net = core::make_att_network();
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
     long long k = 0;
     if (!util::parse_int(tok, k) || k < 1 ||
         k >= net.controller_count()) {
-      std::cerr << "skipping bad failure count '" << tok << "'\n";
+      obs::log().warn("skipping bad failure count '" + tok + "'");
       continue;
     }
     core::RunnerOptions opts;
@@ -57,5 +58,6 @@ int main(int argc, char** argv) {
                "Optimal runs to its "
             << bench::num(time_limit, 0)
             << "s budget per case, see DESIGN.md substitution 2)\n";
+  obs::write_profile(obs_options);
   return 0;
 }

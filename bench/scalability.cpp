@@ -21,8 +21,9 @@ int main(int argc, char** argv) {
   util::CliArgs args(argc, argv);
   const std::string sizes = args.get_string("sizes", "25,50,75,100,150");
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const obs::ObsOptions obs_options = obs::parse_obs_flags(args);
   for (const auto& unused : args.unused()) {
-    std::cerr << "warning: unrecognized flag --" << unused << "\n";
+    obs::log().warn("unrecognized flag --" + unused);
   }
 
   std::cout << "=== Scalability on Waxman WANs (extension) ===\n";
@@ -82,5 +83,6 @@ int main(int argc, char** argv) {
                std::to_string(problem.model.constraint_count())});
   }
   t.print(std::cout);
+  obs::write_profile(obs_options);
   return 0;
 }

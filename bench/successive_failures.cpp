@@ -11,8 +11,9 @@
 int main(int argc, char** argv) {
   using namespace pm;
   util::CliArgs args(argc, argv);
+  const obs::ObsOptions obs_options = obs::parse_obs_flags(args);
   for (const auto& unused : args.unused()) {
-    std::cerr << "warning: unrecognized flag --" << unused << "\n";
+    obs::log().warn("unrecognized flag --" + unused);
   }
 
   const sdwan::Network net = core::make_att_network();
@@ -80,5 +81,6 @@ int main(int argc, char** argv) {
             << "\n(PM is deterministic, so even from-scratch recomputation "
                "preserves most prior decisions; seeding guarantees the "
                "kept entries and never removes them)\n";
+  obs::write_profile(obs_options);
   return 0;
 }

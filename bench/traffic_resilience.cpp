@@ -20,8 +20,9 @@ int main(int argc, char** argv) {
   const double surge = args.get_double("surge", 8.0);
   const double total_traffic = args.get_double("total-traffic", 200000.0);
   const double link_capacity = args.get_double("link-capacity", 10000.0);
+  const obs::ObsOptions obs_options = obs::parse_obs_flags(args);
   for (const auto& unused : args.unused()) {
-    std::cerr << "warning: unrecognized flag --" << unused << "\n";
+    obs::log().warn("unrecognized flag --" + unused);
   }
 
   const sdwan::Network net = core::make_att_network();
@@ -98,5 +99,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n(lower is better; PM/PG should track each other and "
                "beat RetroFlow, which cannot steer the hub's flows)\n";
+  obs::write_profile(obs_options);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "core/scenario.hpp"
 #include "core/serialize.hpp"
 #include "sim/control_plane.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -27,8 +28,9 @@ int main(int argc, char** argv) {
   const bool with_optimal = args.get_bool("optimal", false);
   const double optimal_time = args.get_double("optimal-time", 30.0);
   const std::string json_path = args.get_string("json", "");
+  obs::apply_log_level_flag(args);
   for (const auto& unused : args.unused()) {
-    std::cerr << "warning: unrecognized flag --" << unused << "\n";
+    obs::log().warn("unrecognized flag --" + unused);
   }
 
   const sdwan::Network net = core::make_att_network();
@@ -38,7 +40,7 @@ int main(int argc, char** argv) {
   for (const auto& tok : util::split(fail_spec, ',')) {
     long long node = 0;
     if (!util::parse_int(tok, node)) {
-      std::cerr << "bad --fail value '" << tok << "'\n";
+      obs::log().error("bad --fail value '" + tok + "'");
       return 1;
     }
     fail_nodes.insert(static_cast<int>(node));
@@ -50,7 +52,7 @@ int main(int argc, char** argv) {
     }
   }
   if (scenario.failed.size() != fail_nodes.size()) {
-    std::cerr << "--fail must name controller nodes (2,5,6,13,20,22)\n";
+    obs::log().error("--fail must name controller nodes (2,5,6,13,20,22)");
     return 1;
   }
 

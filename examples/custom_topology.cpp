@@ -16,6 +16,7 @@
 #include <map>
 
 #include "topo/placement.hpp"
+#include "obs/obs.hpp"
 #include "util/strings.hpp"
 
 #include "core/runner.hpp"
@@ -35,8 +36,9 @@ int main(int argc, char** argv) {
   const int fail = static_cast<int>(args.get_int("fail", 1));
   const double capacity = args.get_double("capacity", 0.0);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  obs::apply_log_level_flag(args);
   for (const auto& unused : args.unused()) {
-    std::cerr << "warning: unrecognized flag --" << unused << "\n";
+    obs::log().warn("unrecognized flag --" + unused);
   }
 
   topo::Topology topology;
@@ -44,18 +46,18 @@ int main(int argc, char** argv) {
     topology = gml.empty() ? topo::waxman(waxman_n, 0.5, 0.25, seed)
                            : topo::load_gml_file(gml);
   } catch (const std::exception& e) {
-    std::cerr << "failed to load topology: " << e.what() << "\n";
+    obs::log().error(std::string("failed to load topology: ") + e.what());
     return 1;
   }
   std::cout << "topology '" << topology.name() << "': "
             << topology.node_count() << " nodes, "
             << topology.link_count() << " links\n";
   if (controllers < 2 || controllers > topology.node_count()) {
-    std::cerr << "--controllers must be in [2, node count]\n";
+    obs::log().error("--controllers must be in [2, node count]");
     return 1;
   }
   if (fail < 1 || fail >= controllers) {
-    std::cerr << "--fail must be in [1, controllers)\n";
+    obs::log().error("--fail must be in [1, controllers)");
     return 1;
   }
 

@@ -8,6 +8,7 @@
 
 #include "core/runner.hpp"
 #include "core/scenario.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
@@ -19,8 +20,9 @@ int main(int argc, char** argv) {
   const bool with_optimal = args.get_bool("optimal", false);
   const double optimal_time = args.get_double("optimal-time", 20.0);
   const std::string out_path = args.get_string("out", "sweep.csv");
+  obs::apply_log_level_flag(args);
   for (const auto& unused : args.unused()) {
-    std::cerr << "warning: unrecognized flag --" << unused << "\n";
+    obs::log().warn("unrecognized flag --" + unused);
   }
 
   const sdwan::Network net = core::make_att_network();
@@ -28,13 +30,14 @@ int main(int argc, char** argv) {
   opts.run_optimal = with_optimal;
   opts.optimal.time_limit_seconds = optimal_time;
 
-  std::cerr << "sweeping " << sdwan::enumerate_failures(net, k).size()
-            << " cases with k=" << k << "...\n";
+  obs::log().info("sweeping " +
+                  std::to_string(sdwan::enumerate_failures(net, k).size()) +
+                  " cases with k=" + std::to_string(k) + "...");
   const auto results = core::run_failure_sweep(net, k, opts);
 
   std::ofstream out(out_path);
   if (!out) {
-    std::cerr << "cannot write " << out_path << "\n";
+    obs::log().error("cannot write " + out_path);
     return 1;
   }
   util::CsvWriter csv(out);
@@ -56,6 +59,6 @@ int main(int argc, char** argv) {
            util::format_double(m.solve_seconds * 1000.0, 4)});
     }
   }
-  std::cerr << "wrote " << out_path << "\n";
+  obs::log().info("wrote " + out_path);
   return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "core/scenario.hpp"
 #include "sdwan/dataplane.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -34,15 +35,16 @@ int main(int argc, char** argv) {
   util::CliArgs args(argc, argv);
   const int src = static_cast<int>(args.get_int("src", 21));
   const int dst = static_cast<int>(args.get_int("dst", 0));
+  obs::apply_log_level_flag(args);
   for (const auto& unused : args.unused()) {
-    std::cerr << "warning: unrecognized flag --" << unused << "\n";
+    obs::log().warn("unrecognized flag --" + unused);
   }
 
   const sdwan::Network net = core::make_att_network();
   if (src < 0 || dst < 0 || src >= net.switch_count() ||
       dst >= net.switch_count() || src == dst) {
-    std::cerr << "--src/--dst must be distinct nodes in [0, "
-              << net.switch_count() << ")\n";
+    obs::log().error("--src/--dst must be distinct nodes in [0, " +
+                      std::to_string(net.switch_count()) + ")");
     return 1;
   }
   const sdwan::Packet packet{src, dst};

@@ -18,6 +18,7 @@
 #include "core/pm_algorithm.hpp"
 #include "core/scenario.hpp"
 #include "core/serialize.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -27,18 +28,19 @@ int main(int argc, char** argv) {
   util::CliArgs args(argc, argv);
   const std::string fail_spec = args.get_string("fail", "13,20");
   const std::string plan_path = args.get_string("plan", "");
+  obs::apply_log_level_flag(args);
   for (const auto& unused : args.unused()) {
-    std::cerr << "warning: unrecognized flag --" << unused << "\n";
+    obs::log().warn("unrecognized flag --" + unused);
   }
   if (plan_path.empty()) {
-    std::cerr << "usage: plan_audit --fail=<nodes> --plan=<plan.json>\n";
+    obs::log().error("usage: plan_audit --fail=<nodes> --plan=<plan.json>");
     return 2;
   }
 
   // Load the plan (accepts either a bare plan or a full case report).
   std::ifstream in(plan_path);
   if (!in) {
-    std::cerr << "cannot open " << plan_path << "\n";
+    obs::log().error("cannot open " + plan_path);
     return 2;
   }
   std::ostringstream buf;
@@ -49,7 +51,7 @@ int main(int argc, char** argv) {
     plan = core::plan_from_json(json.contains("plan") ? json.at("plan")
                                                       : json);
   } catch (const std::exception& e) {
-    std::cerr << "failed to load plan: " << e.what() << "\n";
+    obs::log().error(std::string("failed to load plan: ") + e.what());
     return 2;
   }
 

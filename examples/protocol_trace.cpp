@@ -11,12 +11,21 @@
 //        [--retries=5] [--backoff=2] [--rto-margin=60]
 //        [--loss=0.1] [--dup=0.05] [--jitter=20]
 //        [--reorder=0.01] [--reorder-delay=40] [--fault-seed=42]
+//        [--trace-out=t.json] [--trace-jsonl=t.jsonl]
+//        [--metrics-out=m.prom] [--metrics-json=m.json]
+//        [--profile-out=p.json] [--log-level=info]
+//
+// --trace-out writes a Chrome trace_event file (load in Perfetto /
+// chrome://tracing); --metrics-out writes Prometheus text exposition.
+// Both derive from the simulated clock only, so same-seed runs produce
+// byte-identical files.
 #include <iostream>
 #include <set>
 
 #include "core/pm_algorithm.hpp"
 #include "core/scenario.hpp"
 #include "ctrl/simulation.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -43,8 +52,9 @@ int main(int argc, char** argv) {
   faults.reorder_probability = args.get_double("reorder", 0.0);
   faults.reorder_delay_ms = args.get_double("reorder-delay", 40.0);
   faults.seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 42));
+  const obs::ObsOptions obs_options = obs::parse_obs_flags(args);
   for (const auto& unused : args.unused()) {
-    std::cerr << "warning: unrecognized flag --" << unused << "\n";
+    obs::log().warn("unrecognized flag --" + unused);
   }
 
   const sdwan::Network net = core::make_att_network();
@@ -64,6 +74,10 @@ int main(int argc, char** argv) {
       },
       config);
   simulation.set_fault_model(faults);
+  simulation.observability().tracer.set_enabled(
+      obs_options.tracing_requested());
+  simulation.observability().detailed_metrics =
+      obs_options.detailed_requested();
 
   // Crash the named controllers: the first at t = 500 ms, any further
   // ones at --second-failure-at (successive-failure mode).
@@ -124,5 +138,7 @@ int main(int argc, char** argv) {
   }
   t.add_row({"total", std::to_string(report.messages_sent)});
   t.print(std::cout);
+
+  obs::write_outputs(obs_options, simulation.observability());
   return report.all_flows_deliverable ? 0 : 1;
 }

@@ -22,6 +22,7 @@
 #include "core/reroute.hpp"
 #include "core/retroflow.hpp"
 #include "core/scenario.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -34,8 +35,9 @@ int main(int argc, char** argv) {
   const double surge = args.get_double("surge", 8.0);
   const double total_traffic = args.get_double("total-traffic", 200000.0);
   const double link_capacity = args.get_double("link-capacity", 10000.0);
+  obs::apply_log_level_flag(args);
   for (const auto& unused : args.unused()) {
-    std::cerr << "warning: unrecognized flag --" << unused << "\n";
+    obs::log().warn("unrecognized flag --" + unused);
   }
 
   const sdwan::Network net = core::make_att_network();

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <limits>
 
+#include "obs/profile.hpp"
+
 namespace pm::core {
 
 namespace {
@@ -29,6 +31,7 @@ flows_by_switch(const sdwan::FailureState& state) {
 }  // namespace
 
 RecoveryPlan run_pm(const sdwan::FailureState& state, PmOptions options) {
+  OBS_SPAN("pm.run");
   const auto start = std::chrono::steady_clock::now();
   RecoveryPlan plan;
   plan.algorithm = "PM";
@@ -85,73 +88,77 @@ RecoveryPlan run_pm(const sdwan::FailureState& state, PmOptions options) {
   };
 
   // Lines 2-40: the balancing loop.
-  while (test_count < total_iterations && !h.empty()) {
-    // Lines 5-15: find the switch with the most least-programmability
-    // flows. `untested` is kept ascending, so ties pick the lowest id.
-    std::size_t delta = 0;
-    SwitchId i0 = -1;
-    for (SwitchId s : untested) {
-      std::size_t count = 0;
-      for (const auto& [l, p] : by_switch.at(s)) {
-        (void)p;
-        if (h.at(l) == sigma) ++count;
-      }
-      if (count > delta) {
-        delta = count;
-        i0 = s;
-        if (!options.greedy_switch_selection) break;  // first viable switch
-      }
-    }
-    if (i0 < 0) {
-      // No untested switch hosts a least-programmability flow: nothing in
-      // this sweep can raise the minimum, so start the next sweep.
-      restart_sweep();
-      continue;
-    }
-
-    // Lines 17-28: map switch i0 to a controller j0.
-    ControllerId j0 = plan.controller_of(i0);
-    if (j0 < 0) {
-      for (ControllerId j : state.controllers_by_delay(i0)) {
-        if (rest.at(j) >= static_cast<double>(state.gamma(i0))) {
-          j0 = j;
-          break;  // nearest capable controller
+  {
+    OBS_SPAN("pm.balancing");
+    while (test_count < total_iterations && !h.empty()) {
+      // Lines 5-15: find the switch with the most least-programmability
+      // flows. `untested` is kept ascending, so ties pick the lowest id.
+      std::size_t delta = 0;
+      SwitchId i0 = -1;
+      for (SwitchId s : untested) {
+        std::size_t count = 0;
+        for (const auto& [l, p] : by_switch.at(s)) {
+          (void)p;
+          if (h.at(l) == sigma) ++count;
+        }
+        if (count > delta) {
+          delta = count;
+          i0 = s;
+          if (!options.greedy_switch_selection) break;  // first viable switch
         }
       }
+      if (i0 < 0) {
+        // No untested switch hosts a least-programmability flow: nothing in
+        // this sweep can raise the minimum, so start the next sweep.
+        restart_sweep();
+        continue;
+      }
+
+      // Lines 17-28: map switch i0 to a controller j0.
+      ControllerId j0 = plan.controller_of(i0);
       if (j0 < 0) {
-        // Line 26: fall back to the controller with maximum residual
-        // capacity.
-        double best = -1.0;
-        for (ControllerId j : state.active_controllers()) {
-          if (rest.at(j) > best) {
-            best = rest.at(j);
+        for (ControllerId j : state.controllers_by_delay(i0)) {
+          if (rest.at(j) >= static_cast<double>(state.gamma(i0))) {
             j0 = j;
+            break;  // nearest capable controller
           }
         }
+        if (j0 < 0) {
+          // Line 26: fall back to the controller with maximum residual
+          // capacity.
+          double best = -1.0;
+          for (ControllerId j : state.active_controllers()) {
+            if (rest.at(j) > best) {
+              best = rest.at(j);
+              j0 = j;
+            }
+          }
+        }
+        plan.mapping[i0] = j0;  // line 29: X <- X + (i0, j0)
       }
-      plan.mapping[i0] = j0;  // line 29: X <- X + (i0, j0)
-    }
-    std::erase(untested, i0);  // line 29: S* <- S* \ s_i0
+      std::erase(untested, i0);  // line 29: S* <- S* \ s_i0
 
-    // Lines 31-36: put least-programmability flows at i0 into SDN mode.
-    for (const auto& [l0, p] : by_switch.at(i0)) {
-      // An assignment costs one whole control unit, so a fractional
-      // residual below 1 cannot host it.
-      if (h.at(l0) <= sigma &&
-          !plan.sdn_assignments.contains({i0, l0}) &&
-          rest.at(j0) >= 1.0) {
-        rest.at(j0) -= 1.0;
-        h.at(l0) += p;
-        plan.sdn_assignments.insert({i0, l0});
+      // Lines 31-36: put least-programmability flows at i0 into SDN mode.
+      for (const auto& [l0, p] : by_switch.at(i0)) {
+        // An assignment costs one whole control unit, so a fractional
+        // residual below 1 cannot host it.
+        if (h.at(l0) <= sigma &&
+            !plan.sdn_assignments.contains({i0, l0}) &&
+            rest.at(j0) >= 1.0) {
+          rest.at(j0) -= 1.0;
+          h.at(l0) += p;
+          plan.sdn_assignments.insert({i0, l0});
+        }
       }
-    }
 
-    // Lines 37-39: sweep finished — raise the water level.
-    if (untested.empty()) restart_sweep();
+      // Lines 37-39: sweep finished — raise the water level.
+      if (untested.empty()) restart_sweep();
+    }
   }
 
   // Lines 42-50: utilization pass — spend leftover capacity.
   if (!options.skip_utilization_pass) {
+    OBS_SPAN("pm.utilization");
     for (const auto& [i0, flows] : by_switch) {
       const ControllerId j0 = plan.controller_of(i0);
       if (j0 < 0) continue;

@@ -4,8 +4,27 @@
 #include <utility>
 
 #include "graph/shortest_path.hpp"
+#include "obs/obs.hpp"
 
 namespace pm::ctrl {
+
+namespace {
+
+/// Bucket bounds (ms) for the message-latency histogram: ATT propagation
+/// delays sit in the low tens of ms; jitter and retransmission backoff
+/// push the tail to the hundreds.
+std::vector<double> latency_buckets() {
+  return {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500};
+}
+
+obs::Tracer::Args message_args(const Message& m, const std::string& kind) {
+  return {{"kind", kind},
+          {"from", m.from},
+          {"to", m.to},
+          {"seq", static_cast<std::int64_t>(m.seq)}};
+}
+
+}  // namespace
 
 std::string message_kind(const Message& m) {
   struct Visitor {
@@ -43,6 +62,11 @@ const FaultStats& ControlChannel::fault_stats() const {
   return faults_ ? faults_->stats() : kNone;
 }
 
+void ControlChannel::set_observability(obs::Context* obs) {
+  obs_ = obs;
+  latency_hist_ = nullptr;  // re-resolved lazily against the new registry
+}
+
 double ControlChannel::path_delay_ms(EndpointId a, EndpointId b) const {
   const auto ia = endpoints_.find(a);
   const auto ib = endpoints_.find(b);
@@ -62,6 +86,11 @@ void ControlChannel::resend(Message m, double extra_latency_ms) {
     throw std::logic_error("resend of a message that was never sent");
   }
   ++retransmissions_;
+  if (obs_ != nullptr && obs_->tracer.enabled()) {
+    obs_->tracer.instant(queue_->now(), "channel", "retransmit",
+                         tracks::kChannel,
+                         message_args(m, message_kind(m)));
+  }
   dispatch(std::move(m), extra_latency_ms);
 }
 
@@ -71,14 +100,25 @@ void ControlChannel::dispatch(Message m, double extra_latency_ms) {
     throw std::logic_error("send from unattached endpoint " +
                            std::to_string(m.from));
   }
+  const bool tracing = obs_ != nullptr && obs_->tracer.enabled();
   const auto to = endpoints_.find(m.to);
   if (to == endpoints_.end()) {
     ++dropped_;
+    if (tracing) {
+      auto args = message_args(m, message_kind(m));
+      args.emplace_back("reason", "unknown-endpoint");
+      obs_->tracer.instant(queue_->now(), "channel", "drop",
+                           tracks::kChannel, std::move(args));
+    }
     return;
   }
   const std::string kind = message_kind(m);
   ++sent_;
   ++by_kind_[kind];
+  if (tracing) {
+    obs_->tracer.instant(queue_->now(), "channel", "send",
+                         tracks::kChannel, message_args(m, kind));
+  }
 
   // Propagation delay between the endpoints' locations over the data
   // network (in-band control), via the precomputed all-pairs distances in
@@ -96,8 +136,24 @@ void ControlChannel::dispatch(Message m, double extra_latency_ms) {
 
   // Fault-injected path. Draw order is fixed (partition, drop, delay,
   // duplicate) so a given seed replays the identical fault sequence.
-  if (faults_->partitioned(m.from, m.to, queue_->now(), kind)) return;
-  if (faults_->drop(kind)) return;
+  if (faults_->partitioned(m.from, m.to, queue_->now(), kind)) {
+    if (tracing) {
+      auto args = message_args(m, kind);
+      args.emplace_back("reason", "partition");
+      obs_->tracer.instant(queue_->now(), "channel", "drop",
+                           tracks::kChannel, std::move(args));
+    }
+    return;
+  }
+  if (faults_->drop(kind)) {
+    if (tracing) {
+      auto args = message_args(m, kind);
+      args.emplace_back("reason", "fault-injected");
+      obs_->tracer.instant(queue_->now(), "channel", "drop",
+                           tracks::kChannel, std::move(args));
+    }
+    return;
+  }
   const double jittered = base_delay + faults_->extra_delay(kind);
   const bool dup = faults_->duplicate(kind);
   if (dup) {
@@ -108,12 +164,35 @@ void ControlChannel::dispatch(Message m, double extra_latency_ms) {
 
 void ControlChannel::deliver_in(double delay, Message m) {
   const EndpointId target = m.to;
-  queue_->schedule_in(delay, [this, target, m = std::move(m)] {
+  const double sent_at = queue_->now();
+  queue_->schedule_in(delay, [this, target, sent_at,
+                              m = std::move(m)] {
     const auto it = endpoints_.find(target);
     if (it == endpoints_.end() || !it->second.attached ||
         !it->second.handler) {
       ++dropped_;
+      if (obs_ != nullptr && obs_->tracer.enabled()) {
+        auto args = message_args(m, message_kind(m));
+        args.emplace_back("reason", "detached-endpoint");
+        obs_->tracer.instant(queue_->now(), "channel", "drop",
+                             tracks::kChannel, std::move(args));
+      }
       return;
+    }
+    if (obs_ != nullptr && obs_->detailed_metrics) {
+      if (latency_hist_ == nullptr) {
+        latency_hist_ = &obs_->metrics.histogram(
+            "pm_message_latency_ms",
+            "Control-message delivery latency (simulated clock)",
+            latency_buckets());
+      }
+      latency_hist_->observe(queue_->now() - sent_at);
+    }
+    if (obs_ != nullptr && obs_->tracer.enabled()) {
+      auto args = message_args(m, message_kind(m));
+      args.emplace_back("latency_ms", queue_->now() - sent_at);
+      obs_->tracer.instant(queue_->now(), "channel", "recv",
+                           tracks::kChannel, std::move(args));
     }
     it->second.handler(m);
   });

@@ -22,7 +22,26 @@
 #include "sdwan/network.hpp"
 #include "sim/event_queue.hpp"
 
+namespace pm::obs {
+struct Context;
+class Histogram;
+}  // namespace pm::obs
+
 namespace pm::ctrl {
+
+/// Trace track ("timeline row") layout shared by the protocol agents:
+/// the channel and the switch population get one row each, every
+/// controller its own row, waves a dedicated row so superseded waves
+/// cannot unbalance nesting.
+namespace tracks {
+inline constexpr int kChannel = 1;
+inline constexpr int kSwitches = 2;
+inline constexpr int kWaves = 3;
+inline constexpr int kControllerBase = 10;
+inline int controller(sdwan::ControllerId j) {
+  return kControllerBase + static_cast<int>(j);
+}
+}  // namespace tracks
 
 class ControlChannel {
  public:
@@ -47,6 +66,10 @@ class ControlChannel {
   /// wants ack-driven retransmission can resend() the same message.
   std::uint64_t send(Message m, double extra_latency_ms = 0.0);
 
+  /// Current simulated time (agents without their own queue pointer use
+  /// it to stamp trace events).
+  double queue_now() const { return queue_->now(); }
+
   /// Whether `id` is currently attached (known and not detached).
   bool is_attached(EndpointId id) const {
     const auto it = endpoints_.find(id);
@@ -64,6 +87,13 @@ class ControlChannel {
 
   /// Injected-fault statistics; zeros when no model is armed.
   const FaultStats& fault_stats() const;
+
+  /// Attaches the observability context (tracer + metrics). The channel
+  /// then traces send/recv/drop/retransmit events on the simulated clock
+  /// and feeds the message-latency histogram. nullptr (the default)
+  /// keeps the send path free of observability work beyond one branch.
+  void set_observability(obs::Context* obs);
+  obs::Context* observability() const { return obs_; }
 
   /// Propagation delay between two attached endpoints' locations; the
   /// agents use it to size retransmission timeouts. Returns 0 if either
@@ -104,6 +134,8 @@ class ControlChannel {
   std::uint64_t next_seq_ = 0;
   std::map<std::string, std::uint64_t> by_kind_;
   std::unique_ptr<FaultInjector> faults_;
+  obs::Context* obs_ = nullptr;
+  obs::Histogram* latency_hist_ = nullptr;
   mutable std::map<std::pair<sdwan::SwitchId, sdwan::SwitchId>, double>
       delay_cache_;
 };

@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace pm::ctrl {
+
+namespace {
+
+/// Bucket bounds (ms) for wave convergence: a clean wave converges in
+/// hundreds of ms on ATT; loss and backoff stretch it toward seconds.
+std::vector<double> convergence_buckets() {
+  return {100, 250, 500, 1000, 2000, 3000, 5000, 10000, 20000};
+}
+
+}  // namespace
 
 ControllerNode::ControllerNode(const sdwan::Network& net,
                                sdwan::ControllerId id,
@@ -66,6 +78,13 @@ void ControllerNode::check_peers() {
       if (++miss_counts_[peer] >= std::max(config_.suspicion_checks, 1)) {
         suspected_.insert(peer);
         newly_suspected = true;
+        if (obs::Context* obs = channel_->observability();
+            obs != nullptr && obs->tracer.enabled()) {
+          obs->tracer.instant(now, "detector", "suspect",
+                              tracks::controller(id_),
+                              {{"peer", static_cast<int>(peer)},
+                               {"silent_ms", now - heard}});
+        }
       }
     } else {
       miss_counts_[peer] = 0;
@@ -104,6 +123,18 @@ void ControllerNode::run_recovery() {
   shared_->pending_acks.clear();
   shared_->pending_roles.clear();
   shared_->wave_active = true;
+  shared_->wave_started_at = queue_->now();
+  if (obs::Context* obs = channel_->observability();
+      obs != nullptr && obs->tracer.enabled()) {
+    obs->tracer.instant(
+        queue_->now(), "wave", "wave.start", tracks::kWaves,
+        {{"coordinator", static_cast<int>(id_)},
+         {"epoch", static_cast<std::int64_t>(shared_->wave_epoch)},
+         {"suspected", static_cast<std::int64_t>(suspected_.size())},
+         {"mapped_switches", static_cast<std::int64_t>(plan.mapping.size())},
+         {"sdn_assignments",
+          static_cast<std::int64_t>(plan.sdn_assignments.size())}});
+  }
 
   // Distribute: RoleRequest per adopted switch, then the flow-mods. Every
   // message is sent by the ADOPTING controller in the plan; as a modeling
@@ -147,7 +178,7 @@ void ControllerNode::run_recovery() {
     arm_mod_retry(body.xid, mod, plan.middle_layer_ms);
   }
   installed_plan_ = std::move(plan);
-  if (shared_->pending_acks.empty()) shared_->converged_at = queue_->now();
+  if (shared_->pending_acks.empty()) maybe_mark_converged();
 }
 
 double ControllerNode::initial_rto(const Message& msg,
@@ -201,6 +232,15 @@ void ControllerNode::on_mod_timer(std::uint64_t xid) {
     const auto flow = shared_->xid_flow.find(xid);
     if (flow != shared_->xid_flow.end()) {
       shared_->degraded_flows.insert(flow->second);
+      if (obs::Context* obs = channel_->observability();
+          obs != nullptr && obs->tracer.enabled()) {
+        obs->tracer.instant(
+            queue_->now(), "wave", "degrade.flow",
+            tracks::controller(id_),
+            {{"flow", static_cast<int>(flow->second)},
+             {"xid", static_cast<std::int64_t>(xid)},
+             {"attempts", r.attempts}});
+      }
     }
     mod_retries_.erase(it);
     maybe_mark_converged();
@@ -226,6 +266,13 @@ void ControllerNode::on_role_timer(sdwan::SwitchId sw) {
       !channel_->is_attached(r.msg.from)) {
     shared_->pending_roles.erase(sw);
     shared_->degraded_switches.insert(sw);
+    if (obs::Context* obs = channel_->observability();
+        obs != nullptr && obs->tracer.enabled()) {
+      obs->tracer.instant(queue_->now(), "wave", "degrade.switch",
+                          tracks::controller(id_),
+                          {{"switch", static_cast<int>(sw)},
+                           {"attempts", r.attempts}});
+    }
     role_retries_.erase(it);
     return;
   }
@@ -245,6 +292,27 @@ void ControllerNode::maybe_mark_converged() {
   if (shared_->wave_active && shared_->pending_acks.empty() &&
       shared_->converged_at < 0) {
     shared_->converged_at = queue_->now();
+    if (obs::Context* obs = channel_->observability();
+        obs != nullptr) {
+      const double wave_ms =
+          shared_->converged_at - shared_->wave_started_at;
+      obs->metrics
+          .histogram("pm_wave_convergence_ms",
+                     "Recovery-wave start-to-last-ack time "
+                     "(simulated clock)",
+                     convergence_buckets())
+          .observe(wave_ms);
+      if (obs->tracer.enabled()) {
+        obs->tracer.complete(
+            shared_->wave_started_at, wave_ms, "wave", "wave",
+            tracks::kWaves,
+            {{"epoch", static_cast<std::int64_t>(shared_->wave_epoch)}});
+        obs->tracer.instant(
+            queue_->now(), "wave", "wave.converged", tracks::kWaves,
+            {{"epoch", static_cast<std::int64_t>(shared_->wave_epoch)},
+             {"wave_ms", wave_ms}});
+      }
+    }
   }
 }
 
@@ -264,6 +332,13 @@ void ControllerNode::on_message(const Message& m) {
       // The peer was alive all along — the detector fired on jitter or
       // loss. Count it; the next detector pass sees the peer live again.
       ++spurious_detections_;
+      if (obs::Context* obs = channel_->observability();
+          obs != nullptr && obs->tracer.enabled()) {
+        obs->tracer.instant(queue_->now(), "detector", "unsuspect",
+                            tracks::controller(id_),
+                            {{"peer", static_cast<int>(hb->from)},
+                             {"spurious", true}});
+      }
     }
     return;
   }

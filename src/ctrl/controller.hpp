@@ -72,6 +72,9 @@ struct SharedRecoveryState {
   std::uint64_t next_xid = 1;
   double converged_at = -1.0;
   bool wave_active = false;
+  /// When the current wave's distribution began (simulated clock); feeds
+  /// the wave-convergence histogram and the trace's wave span.
+  double wave_started_at = -1.0;
   /// Bumped per recovery wave; stale retransmission timers from an
   /// earlier wave observe the mismatch and die.
   std::uint64_t wave_epoch = 0;

@@ -10,6 +10,14 @@ ControlSimulation::ControlSimulation(const sdwan::Network& net,
     : net_(&net),
       channel_(net, queue_),
       dataplane_(net.topology(), sdwan::RoutingMode::kHybrid) {
+  channel_.set_observability(&obs_);
+  obs_.tracer.set_track_name(tracks::kChannel, "channel");
+  obs_.tracer.set_track_name(tracks::kSwitches, "switches");
+  obs_.tracer.set_track_name(tracks::kWaves, "recovery waves");
+  for (sdwan::ControllerId j = 0; j < net.controller_count(); ++j) {
+    obs_.tracer.set_track_name(tracks::controller(j),
+                               "controller " + net.controller(j).name);
+  }
   for (int s = 0; s < net.switch_count(); ++s) {
     switches_.push_back(
         std::make_unique<SwitchAgent>(s, dataplane_.at(s), channel_));
@@ -36,6 +44,13 @@ void ControlSimulation::fail_controller_at(sdwan::ControllerId j,
     // topology itself is unchanged by a controller crash, but any
     // failure event that reweights/cuts links flows through this hook).
     channel_.invalidate_delays();
+    if (obs_.tracer.enabled()) {
+      obs_.tracer.instant(
+          queue_.now(), "sim", "controller.fail", tracks::controller(j),
+          {{"controller", static_cast<int>(j)},
+           {"orphaned_switches",
+            static_cast<std::int64_t>(net_->controller(j).domain.size())}});
+    }
     controllers_[static_cast<std::size_t>(j)]->fail();
     for (sdwan::SwitchId s : net_->controller(j).domain) {
       switches_[static_cast<std::size_t>(s)]->orphan();
@@ -44,46 +59,100 @@ void ControlSimulation::fail_controller_at(sdwan::ControllerId j,
 }
 
 SimulationReport ControlSimulation::run(double until_ms) {
+  OBS_SPAN("ctrl.simulation.run");
   queue_.run(until_ms);
+  publish_metrics();
+  return report_from_metrics();
+}
 
-  SimulationReport report;
-  report.messages_sent = channel_.messages_sent();
-  report.messages_by_kind = channel_.sent_by_kind();
-  report.retransmissions = channel_.retransmissions();
+void ControlSimulation::publish_metrics() {
+  obs::MetricsRegistry& m = obs_.metrics;
+  // Counters are monotonic: publish the delta against what the registry
+  // already holds, so a second run() call stays consistent.
+  const auto set_counter = [&](const std::string& name,
+                               const std::string& help, std::uint64_t v,
+                               const obs::Labels& labels = {}) {
+    obs::Counter& c = m.counter(name, help, labels);
+    if (v > c.value()) c.inc(v - c.value());
+  };
+
+  set_counter("pm_messages_sent_total",
+              "Messages accepted by the control channel",
+              channel_.messages_sent());
+  for (const auto& [kind, count] : channel_.sent_by_kind()) {
+    set_counter("pm_messages_total", "Control messages by kind", count,
+                {{"kind", kind}});
+  }
+  set_counter("pm_messages_dropped_total",
+              "Messages dropped at an unknown or detached endpoint",
+              channel_.messages_dropped());
+  set_counter("pm_retransmissions_total",
+              "Ack-driven retransmissions (RoleRequest + FlowMod)",
+              channel_.retransmissions());
   const FaultStats& faults = channel_.fault_stats();
-  report.injected_drops = faults.injected_drops;
-  report.injected_duplicates = faults.injected_duplicates;
-  report.reordered_messages = faults.reordered;
-  report.partition_drops = faults.partition_drops;
+  set_counter("pm_injected_drops_total", "Channel fault-injected drops",
+              faults.injected_drops);
+  set_counter("pm_injected_duplicates_total",
+              "Channel fault-injected duplicates",
+              faults.injected_duplicates);
+  set_counter("pm_reordered_messages_total",
+              "Messages grossly reordered by the fault model",
+              faults.reordered);
+  set_counter("pm_partition_drops_total",
+              "Messages dropped inside partition windows",
+              faults.partition_drops);
+  set_counter("pm_sim_events_executed_total",
+              "Event-queue callbacks executed",
+              queue_.executed_total());
+  set_counter("pm_sim_events_cancelled_total",
+              "Cancelled event-queue entries skipped on pop",
+              queue_.cancelled_skipped_total());
+
+  double detected_at = -1.0;
+  std::uint64_t recovery_waves = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t spurious_detections = 0;
   for (const auto& c : controllers_) {
-    report.duplicates_suppressed += c->duplicates_suppressed();
+    duplicates_suppressed += c->duplicates_suppressed();
     if (!c->alive()) continue;
-    report.spurious_detections += c->spurious_detections();
+    spurious_detections += c->spurious_detections();
     if (c->first_detection_at() >= 0 &&
-        (report.detected_at < 0 ||
-         c->first_detection_at() < report.detected_at)) {
-      report.detected_at = c->first_detection_at();
+        (detected_at < 0 || c->first_detection_at() < detected_at)) {
+      detected_at = c->first_detection_at();
     }
-    report.recovery_waves += c->recoveries_run();
+    recovery_waves += c->recoveries_run();
   }
   for (const auto& a : switches_) {
-    report.duplicates_suppressed += a->duplicates_suppressed();
+    duplicates_suppressed += a->duplicates_suppressed();
   }
-  report.converged_at = shared_.converged_at;
-  report.degraded_flows = shared_.degraded_flows.size();
-  report.degraded_switches = shared_.degraded_switches.size();
+  set_counter("pm_recovery_waves_total",
+              "Recovery waves run by coordinators", recovery_waves);
+  set_counter("pm_duplicates_suppressed_total",
+              "Received messages suppressed as duplicates",
+              duplicates_suppressed);
+  set_counter("pm_spurious_detections_total",
+              "Peers suspected and later proven alive",
+              spurious_detections);
 
   // Data-plane audit.
+  bool all_flows_deliverable = false;
   std::set<sdwan::FlowId> flows_with_entries;
+  std::size_t adopted_switches = 0;
   for (const auto& f : net_->flows()) {
     const auto trace = dataplane_.trace(f.src, {f.src, f.dst});
     if (&f == &net_->flows().front()) {
-      report.all_flows_deliverable = trace.delivered;
+      all_flows_deliverable = trace.delivered;
     } else {
-      report.all_flows_deliverable &= trace.delivered;
+      all_flows_deliverable &= trace.delivered;
     }
   }
+  obs::Histogram& load = m.histogram(
+      "pm_switch_flow_entries",
+      "Per-switch SDN flow-table size at the end of the run",
+      {0, 1, 2, 5, 10, 20, 50, 100});
   for (int s = 0; s < net_->switch_count(); ++s) {
+    load.observe(
+        static_cast<double>(dataplane_.at(s).flow_table_size()));
     if (dataplane_.at(s).flow_table_size() > 0) {
       for (const auto& f : net_->flows()) {
         const auto r = dataplane_.at(s).lookup({f.src, f.dst});
@@ -93,10 +162,64 @@ SimulationReport ControlSimulation::run(double until_ms) {
     const auto& agent = *switches_[static_cast<std::size_t>(s)];
     if (agent.master() >= 0 &&
         agent.master() != net_->controller_of(s)) {
-      ++report.adopted_switches;
+      ++adopted_switches;
     }
   }
-  report.flows_with_entries = flows_with_entries.size();
+
+  const auto set_gauge = [&](const std::string& name,
+                             const std::string& help, double v) {
+    m.gauge(name, help).set(v);
+  };
+  set_gauge("pm_detected_at_ms",
+            "First failure-detector firing; -1 = never", detected_at);
+  set_gauge("pm_converged_at_ms",
+            "Last recovery wave fully acked; -1 = not converged",
+            shared_.converged_at);
+  set_gauge("pm_flows_with_entries",
+            "Flows whose SDN entries are installed in the data plane",
+            static_cast<double>(flows_with_entries.size()));
+  set_gauge("pm_adopted_switches", "Switches adopted by a new master",
+            static_cast<double>(adopted_switches));
+  set_gauge("pm_degraded_flows",
+            "Flows whose FlowMod retries exhausted (legacy-forwarded)",
+            static_cast<double>(shared_.degraded_flows.size()));
+  set_gauge("pm_degraded_switches",
+            "Switches whose RoleRequest retries exhausted",
+            static_cast<double>(shared_.degraded_switches.size()));
+  set_gauge("pm_all_flows_deliverable",
+            "Data-plane audit: 1 if every flow is still deliverable",
+            all_flows_deliverable ? 1.0 : 0.0);
+}
+
+SimulationReport ControlSimulation::report_from_metrics() const {
+  const obs::MetricsRegistry& m = obs_.metrics;
+  SimulationReport report;
+  report.detected_at = m.gauge_value("pm_detected_at_ms");
+  report.converged_at = m.gauge_value("pm_converged_at_ms");
+  report.messages_sent = m.counter_value("pm_messages_sent_total");
+  report.messages_by_kind = m.counters_by_label("pm_messages_total", "kind");
+  report.recovery_waves = m.counter_value("pm_recovery_waves_total");
+  report.flows_with_entries =
+      static_cast<std::size_t>(m.gauge_value("pm_flows_with_entries"));
+  report.all_flows_deliverable =
+      m.gauge_value("pm_all_flows_deliverable") != 0.0;
+  report.adopted_switches =
+      static_cast<std::size_t>(m.gauge_value("pm_adopted_switches"));
+  report.retransmissions = m.counter_value("pm_retransmissions_total");
+  report.duplicates_suppressed =
+      m.counter_value("pm_duplicates_suppressed_total");
+  report.spurious_detections =
+      m.counter_value("pm_spurious_detections_total");
+  report.degraded_flows =
+      static_cast<std::size_t>(m.gauge_value("pm_degraded_flows"));
+  report.degraded_switches =
+      static_cast<std::size_t>(m.gauge_value("pm_degraded_switches"));
+  report.injected_drops = m.counter_value("pm_injected_drops_total");
+  report.injected_duplicates =
+      m.counter_value("pm_injected_duplicates_total");
+  report.reordered_messages =
+      m.counter_value("pm_reordered_messages_total");
+  report.partition_drops = m.counter_value("pm_partition_drops_total");
   return report;
 }
 

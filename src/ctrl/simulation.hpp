@@ -16,6 +16,7 @@
 #include "ctrl/controller.hpp"
 #include "ctrl/fault_model.hpp"
 #include "ctrl/switch_agent.hpp"
+#include "obs/obs.hpp"
 #include "sdwan/dataplane.hpp"
 
 namespace pm::ctrl {
@@ -72,7 +73,19 @@ class ControlSimulation {
   }
 
   /// Runs the clock until `until_ms` and produces the report.
+  ///
+  /// The report is a *view over the metrics registry*: run() first
+  /// publishes every counter into observability().metrics, then reads
+  /// the report fields back out of the registry — so the report and any
+  /// exported metrics file can never disagree.
   SimulationReport run(double until_ms);
+
+  /// The simulation-owned observability context. Enable the tracer
+  /// before run() to record control-plane events; export with
+  /// obs::write_outputs() afterwards. Left alone, both sinks are null
+  /// (tracer disabled, metrics only filled at the end of run()).
+  obs::Context& observability() { return obs_; }
+  const obs::Context& observability() const { return obs_; }
 
   const sdwan::Dataplane& dataplane() const { return dataplane_; }
   ControlChannel& channel() { return channel_; }
@@ -86,7 +99,15 @@ class ControlSimulation {
   sim::EventQueue& queue() { return queue_; }
 
  private:
+  /// Publishes channel/controller/queue counters and the data-plane
+  /// audit into the metrics registry (counters monotonic, gauges
+  /// overwritten).
+  void publish_metrics();
+  /// Builds the report purely from registry values.
+  SimulationReport report_from_metrics() const;
+
   const sdwan::Network* net_;
+  obs::Context obs_;
   sim::EventQueue queue_;
   ControlChannel channel_;
   sdwan::Dataplane dataplane_;

@@ -1,5 +1,7 @@
 #include "ctrl/switch_agent.hpp"
 
+#include "obs/obs.hpp"
+
 namespace pm::ctrl {
 
 EndpointId controller_endpoint(const sdwan::Network& net,
@@ -22,6 +24,17 @@ void SwitchAgent::on_message(const Message& m) {
       ++duplicates_suppressed_;
     } else {
       seen_seqs_.insert(m.seq);
+      // Mode flip: the switch changes master (orphaned -> adopted, or a
+      // re-adoption by a later wave).
+      if (obs::Context* obs = channel_->observability();
+          obs != nullptr && obs->tracer.enabled()) {
+        obs->tracer.instant(
+            channel_->queue_now(), "switch", "role.change",
+            tracks::kSwitches,
+            {{"switch", static_cast<int>(id_)},
+             {"old_master", static_cast<int>(master_)},
+             {"new_master", static_cast<int>(role->controller)}});
+      }
       master_ = role->controller;
       master_endpoint_ = m.from;
     }
@@ -58,6 +71,15 @@ void SwitchAgent::on_message(const Message& m) {
       switch_->install(mod->entry);
     }
     ++flow_mods_applied_;
+    if (obs::Context* obs = channel_->observability();
+        obs != nullptr && obs->tracer.enabled()) {
+      obs->tracer.instant(
+          channel_->queue_now(), "switch", "flowmod.applied",
+          tracks::kSwitches,
+          {{"switch", static_cast<int>(id_)},
+           {"xid", static_cast<std::int64_t>(mod->xid)},
+           {"remove", mod->remove}});
+    }
     Message ack;
     ack.from = switch_endpoint(id_);
     ack.to = m.from;

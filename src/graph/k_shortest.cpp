@@ -6,6 +6,7 @@
 #include <set>
 
 #include "graph/shortest_path.hpp"
+#include "obs/profile.hpp"
 
 namespace pm::graph {
 
@@ -61,6 +62,7 @@ std::vector<NodeId> masked_shortest_path(
 
 std::vector<std::vector<NodeId>> k_shortest_paths(const Graph& g, NodeId src,
                                                   NodeId dst, int k) {
+  OBS_SPAN("graph.yen");
   g.check_node(src);
   g.check_node(dst);
   std::vector<std::vector<NodeId>> result;

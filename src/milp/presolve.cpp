@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/profile.hpp"
+
 namespace pm::milp {
 
 namespace {
@@ -49,6 +51,7 @@ std::vector<double> PresolveResult::restore(
 }
 
 PresolveResult presolve(const Model& model) {
+  OBS_SPAN("milp.presolve");
   PresolveResult result;
   const int n = model.variable_count();
   std::vector<WorkingVar> vars;

@@ -1,0 +1,42 @@
+#include "obs/log.hpp"
+
+#include <iostream>
+
+namespace pm::obs {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kQuiet: return "quiet";
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "quiet" || name == "off" || name == "none") {
+    return LogLevel::kQuiet;
+  }
+  if (name == "error") return LogLevel::kError;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "debug" || name == "trace") return LogLevel::kDebug;
+  return std::nullopt;
+}
+
+void Logger::set_stream(std::ostream* out) { out_ = out; }
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  std::ostream& out = out_ != nullptr ? *out_ : std::cerr;
+  out << "[" << log_level_name(level) << "] " << message << "\n";
+}
+
+Logger& log() {
+  static Logger logger;
+  return logger;
+}
+
+}  // namespace pm::obs

@@ -1,0 +1,60 @@
+// Leveled diagnostic logger for examples, benches and the harness.
+//
+// One process-wide logger (obs::log()) writes "[level] message" lines to
+// stderr by default. Examples and benches route their ad-hoc diagnostics
+// through it so `--log-level quiet` silences a run entirely — important
+// when a bench's stdout is being diffed for determinism and stderr is
+// being captured alongside it. The logger carries no timestamps: its
+// output must not vary across identically-seeded runs.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace pm::obs {
+
+enum class LogLevel {
+  kQuiet = 0,  ///< Nothing, not even errors.
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+/// Name as accepted by --log-level ("quiet", "error", ...).
+const char* log_level_name(LogLevel level);
+
+/// Parses a --log-level value; nullopt on unknown names.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+class Logger {
+ public:
+  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+
+  /// Redirects output (tests capture into an ostringstream). The stream
+  /// must outlive the logger's use; nullptr restores stderr.
+  void set_stream(std::ostream* out);
+
+  bool enabled(LogLevel level) const {
+    return level != LogLevel::kQuiet && level <= level_;
+  }
+
+  void error(const std::string& message) { write(LogLevel::kError, message); }
+  void warn(const std::string& message) { write(LogLevel::kWarn, message); }
+  void info(const std::string& message) { write(LogLevel::kInfo, message); }
+  void debug(const std::string& message) { write(LogLevel::kDebug, message); }
+
+ private:
+  void write(LogLevel level, const std::string& message);
+
+  LogLevel level_ = LogLevel::kInfo;
+  std::ostream* out_ = nullptr;  // nullptr = stderr
+};
+
+/// The process-wide logger.
+Logger& log();
+
+}  // namespace pm::obs

@@ -1,0 +1,130 @@
+// Metrics registry: counters, gauges and fixed-bucket histograms.
+//
+// Metric identity is (name, labels); the registry hands out stable
+// references so hot paths can cache a Counter*/Histogram* once and skip
+// the map lookup per event. Iteration order is sorted by identity, so
+// exports are deterministic regardless of registration order.
+//
+// All values recorded here must derive from simulation state (counts,
+// simulated-clock durations) — never wall time — so identically-seeded
+// runs export byte-identical files. Wall-clock data belongs in
+// obs::Profiler, which exports to a separate, clearly non-deterministic
+// file.
+//
+// Exports: Prometheus text exposition format and a JSON tree.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace pm::obs {
+
+/// Label set of a metric series, e.g. {{"kind", "heartbeat"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+  /// `upper_bounds` must be ascending; an implicit +Inf bucket follows.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1,
+  /// last entry is the +Inf bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const {
+    return counts_;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. The reference stays valid for the registry's
+  /// lifetime. Re-registering an existing series with a different kind
+  /// throws std::logic_error; help/buckets of the first registration win.
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> upper_bounds,
+                       const Labels& labels = {});
+
+  /// Read-side views (0 / empty when the series does not exist).
+  std::uint64_t counter_value(const std::string& name,
+                              const Labels& labels = {}) const;
+  double gauge_value(const std::string& name,
+                     const Labels& labels = {}) const;
+  /// Values of `label_key` -> counter value, over every series named
+  /// `name`. Lets reports re-express per-kind counter maps as a view.
+  std::map<std::string, std::uint64_t> counters_by_label(
+      const std::string& name, const std::string& label_key) const;
+
+  std::size_t series_count() const { return entries_.size(); }
+
+  /// Prometheus text exposition format.
+  void write_prometheus(std::ostream& out) const;
+
+  util::JsonValue to_json() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    Kind kind;
+    std::string help;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  // Key: (name, canonical label serialization) — sorted, so exports are
+  // deterministic.
+  using Key = std::pair<std::string, std::string>;
+
+  Entry& find_or_create(const std::string& name, const std::string& help,
+                        const Labels& labels, Kind kind);
+  const Entry* find(const std::string& name, const Labels& labels) const;
+
+  std::map<Key, Entry> entries_;
+};
+
+/// Canonical `{k="v",...}` rendering (empty string for no labels).
+std::string format_labels(const Labels& labels);
+
+}  // namespace pm::obs

@@ -1,0 +1,85 @@
+// Observability context and CLI wiring.
+//
+// A Context bundles the deterministic sinks — the simulated-clock event
+// tracer and the metrics registry — that a simulation harness owns and
+// threads through its components. The wall-clock Profiler is process-
+// global (spans fire deep inside algorithms with no context to hand
+// around) and the leveled Logger likewise (obs/log.hpp).
+//
+// parse_obs_flags() gives every example/bench the same flag vocabulary
+// on top of util::CliArgs:
+//   --trace-out=FILE     Chrome trace_event JSON (chrome://tracing,
+//                        Perfetto)
+//   --trace-jsonl=FILE   JSONL structured event log
+//   --metrics-out=FILE   Prometheus text exposition
+//   --metrics-json=FILE  metrics as JSON
+//   --profile-out=FILE   wall-clock span profile (non-deterministic;
+//                        implicitly enables the global profiler)
+//   --log-level=LEVEL    quiet|error|warn|info|debug
+//
+// Determinism contract: trace and metrics files are byte-identical
+// across runs with the same seed; the profile file is the only
+// non-deterministic output and is never merged into the others.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "util/cli.hpp"
+
+namespace pm::obs {
+
+/// Deterministic sinks owned by a harness (e.g. ctrl::ControlSimulation).
+struct Context {
+  Tracer tracer;
+  MetricsRegistry metrics;
+  /// Opt-in for per-message metrics (latency histograms). End-of-run
+  /// summary metrics are always published, but hot-path observations
+  /// stay behind this flag so a harness with observability left alone
+  /// pays one branch per message and nothing more.
+  bool detailed_metrics = false;
+};
+
+struct ObsOptions {
+  std::optional<std::string> trace_out;     ///< Chrome trace JSON.
+  std::optional<std::string> trace_jsonl;   ///< JSONL event log.
+  std::optional<std::string> metrics_out;   ///< Prometheus text.
+  std::optional<std::string> metrics_json;  ///< Metrics JSON.
+  std::optional<std::string> profile_out;   ///< Wall-clock profile JSON.
+  LogLevel log_level = LogLevel::kInfo;
+
+  bool tracing_requested() const {
+    return trace_out.has_value() || trace_jsonl.has_value();
+  }
+  bool metrics_requested() const {
+    return metrics_out.has_value() || metrics_json.has_value();
+  }
+  /// Whether per-message (hot-path) instrumentation should be on: any
+  /// trace or metrics sink was asked for.
+  bool detailed_requested() const {
+    return tracing_requested() || metrics_requested();
+  }
+};
+
+/// Parses the shared observability flags, applies --log-level to the
+/// global logger and enables the global profiler when --profile-out is
+/// given. Unknown --log-level values warn and keep the default.
+ObsOptions parse_obs_flags(util::CliArgs& args);
+
+/// Parses and applies only --log-level (for tools with no trace/metrics
+/// surface, so the flag never shows up as "unrecognized").
+void apply_log_level_flag(util::CliArgs& args);
+
+/// Writes every requested file: trace/metrics from `ctx`, the profile
+/// from the global Profiler. Unwritable paths log an error and are
+/// skipped. Logs one info line per file written.
+void write_outputs(const ObsOptions& options, const Context& ctx);
+
+/// Writes only the wall-clock profile (for benches with no Context).
+void write_profile(const ObsOptions& options);
+
+}  // namespace pm::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profile.hpp"
+
 namespace pm::sim {
 
 EventId EventQueue::schedule_at(TimeMs at, std::function<void()> fn) {
@@ -22,6 +24,7 @@ bool EventQueue::cancel(EventId id) {
 }
 
 std::size_t EventQueue::run(TimeMs until) {
+  OBS_SPAN("sim.dispatch");
   std::size_t executed = 0;
   while (!events_.empty() && events_.top().at <= until) {
     // priority_queue::top returns const&; move out via const_cast-free
@@ -30,12 +33,14 @@ std::size_t EventQueue::run(TimeMs until) {
     events_.pop();
     if (const auto it = cancelled_.find(e.seq); it != cancelled_.end()) {
       cancelled_.erase(it);
+      ++cancelled_skipped_total_;
       continue;
     }
     now_ = e.at;
     ++executed;
     e.fn();
   }
+  executed_total_ += executed;
   if (events_.empty() && now_ < until) {
     // Time does not advance past the last event when idle.
   }

@@ -46,6 +46,13 @@ class EventQueue {
   /// Pending entries, including not-yet-popped cancelled ones.
   std::size_t pending() const { return events_.size(); }
 
+  /// Lifetime dispatch statistics, summed over every run() call; the
+  /// observability layer publishes them as simulation metrics.
+  std::uint64_t executed_total() const { return executed_total_; }
+  std::uint64_t cancelled_skipped_total() const {
+    return cancelled_skipped_total_;
+  }
+
  private:
   struct Entry {
     TimeMs at;
@@ -62,6 +69,8 @@ class EventQueue {
   std::unordered_set<EventId> cancelled_;
   TimeMs now_ = 0.0;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_total_ = 0;
+  std::uint64_t cancelled_skipped_total_ = 0;
 };
 
 }  // namespace pm::sim

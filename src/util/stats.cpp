@@ -49,4 +49,20 @@ double sum(std::span<const double> sample) {
   return std::accumulate(sample.begin(), sample.end(), 0.0);
 }
 
+std::size_t bucket_index(std::span<const double> upper_bounds, double v) {
+  // NaN belongs in the +Inf overflow bucket; lower_bound would place it
+  // in bucket 0 (every `bound < NaN` comparison is false).
+  if (std::isnan(v)) return upper_bounds.size();
+  const auto it =
+      std::lower_bound(upper_bounds.begin(), upper_bounds.end(), v);
+  return static_cast<std::size_t>(it - upper_bounds.begin());
+}
+
+std::vector<std::uint64_t> histogram_counts(
+    std::span<const double> sample, std::span<const double> upper_bounds) {
+  std::vector<std::uint64_t> counts(upper_bounds.size() + 1, 0);
+  for (double v : sample) ++counts[bucket_index(upper_bounds, v)];
+  return counts;
+}
+
 }  // namespace pm::util

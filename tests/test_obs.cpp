@@ -1,0 +1,350 @@
+// Tests for the observability layer (src/obs): metrics registry,
+// deterministic tracer, wall-clock profiler, leveled logger — plus the
+// report-as-view contract between ControlSimulation and its registry.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/pm_algorithm.hpp"
+#include "core/scenario.hpp"
+#include "ctrl/simulation.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace pm::obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// metrics registry
+// ---------------------------------------------------------------------
+
+TEST(Metrics, CounterFindOrCreateIsStable) {
+  MetricsRegistry m;
+  Counter& c = m.counter("pm_x_total", "help text");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(m.counter("pm_x_total").value(), 5u);
+  EXPECT_EQ(&m.counter("pm_x_total"), &c);
+  EXPECT_EQ(m.counter_value("pm_x_total"), 5u);
+  EXPECT_EQ(m.counter_value("missing"), 0u);
+}
+
+TEST(Metrics, LabelsDistinguishSeries) {
+  MetricsRegistry m;
+  m.counter("pm_msgs_total", "", {{"kind", "heartbeat"}}).inc(7);
+  m.counter("pm_msgs_total", "", {{"kind", "flow-mod"}}).inc(2);
+  EXPECT_EQ(m.counter_value("pm_msgs_total", {{"kind", "heartbeat"}}), 7u);
+  EXPECT_EQ(m.counter_value("pm_msgs_total", {{"kind", "flow-mod"}}), 2u);
+  const auto by_kind = m.counters_by_label("pm_msgs_total", "kind");
+  ASSERT_EQ(by_kind.size(), 2u);
+  EXPECT_EQ(by_kind.at("heartbeat"), 7u);
+  EXPECT_EQ(by_kind.at("flow-mod"), 2u);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  MetricsRegistry m;
+  m.counter("pm_thing");
+  EXPECT_THROW(m.gauge("pm_thing"), std::logic_error);
+}
+
+TEST(Metrics, GaugeOverwrites) {
+  MetricsRegistry m;
+  m.gauge("pm_level").set(3.5);
+  m.gauge("pm_level").set(-1.0);
+  EXPECT_DOUBLE_EQ(m.gauge_value("pm_level"), -1.0);
+}
+
+TEST(Metrics, HistogramBucketsAndSum) {
+  MetricsRegistry m;
+  Histogram& h = m.histogram("pm_lat_ms", "", {1.0, 5.0, 10.0});
+  for (double v : {0.5, 1.0, 2.0, 7.0, 100.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 110.5);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);  // <= 1
+  EXPECT_EQ(h.bucket_counts()[1], 1u);  // <= 5
+  EXPECT_EQ(h.bucket_counts()[2], 1u);  // <= 10
+  EXPECT_EQ(h.bucket_counts()[3], 1u);  // +Inf
+}
+
+TEST(Metrics, PrometheusExportIsSortedAndCumulative) {
+  MetricsRegistry m;
+  // Register out of sorted order; export must sort by identity.
+  m.gauge("pm_z_level", "a gauge").set(2.0);
+  m.counter("pm_a_total", "a counter").inc(3);
+  Histogram& h = m.histogram("pm_h_ms", "a histogram", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  std::ostringstream out;
+  m.write_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_LT(text.find("pm_a_total"), text.find("pm_h_ms"));
+  EXPECT_LT(text.find("pm_h_ms"), text.find("pm_z_level"));
+  EXPECT_NE(text.find("# TYPE pm_a_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pm_h_ms histogram"), std::string::npos);
+  // Cumulative buckets: le="10" covers both samples; +Inf as well.
+  EXPECT_NE(text.find("pm_h_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("pm_h_ms_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("pm_h_ms_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("pm_h_ms_count 2"), std::string::npos);
+}
+
+TEST(Metrics, JsonExportParses) {
+  MetricsRegistry m;
+  m.counter("pm_a_total", "", {{"kind", "x"}}).inc(1);
+  m.histogram("pm_h_ms", "", {2.0}).observe(1.0);
+  const auto json = util::JsonValue::parse(m.to_json().to_string(2));
+  ASSERT_EQ(json.size(), 2u);
+  EXPECT_EQ(json.at(0).at("name").as_string(), "pm_a_total");
+  EXPECT_EQ(json.at(0).at("labels").at("kind").as_string(), "x");
+  EXPECT_EQ(json.at(1).at("type").as_string(), "histogram");
+  EXPECT_EQ(json.at(1).at("count").as_int(), 1);
+}
+
+TEST(Metrics, FormatLabelsCanonical) {
+  EXPECT_EQ(format_labels({}), "");
+  EXPECT_EQ(format_labels({{"a", "1"}, {"b", "two"}}), "{a=\"1\",b=\"two\"}");
+}
+
+// ---------------------------------------------------------------------
+// tracer
+// ---------------------------------------------------------------------
+
+void record_canonical_events(Tracer& t) {
+  t.set_track_name(1, "channel");
+  t.set_track_name(10, "controller C0");
+  t.instant(1.5, "channel", "send", 1, {{"kind", "heartbeat"}, {"seq", 7}});
+  t.begin(2.0, "wave", "recovery", 10);
+  t.instant(2.5, "channel", "recv", 1, {{"latency_ms", 0.75}});
+  t.end(4.0, "wave", "recovery", 10);
+  t.complete(2.0, 2.0, "wave", "wave", 3, {{"epoch", 1}});
+}
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.instant(1.0, "c", "n", 1);
+  t.begin(1.0, "c", "n", 1);
+  t.end(2.0, "c", "n", 1);
+  t.complete(1.0, 1.0, "c", "n", 1);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tracer, IdenticalEventSequencesExportByteIdentically) {
+  Tracer a;
+  Tracer b;
+  a.set_enabled(true);
+  b.set_enabled(true);
+  record_canonical_events(a);
+  record_canonical_events(b);
+  std::ostringstream ca, cb, ja, jb;
+  a.write_chrome_trace(ca);
+  b.write_chrome_trace(cb);
+  a.write_jsonl(ja);
+  b.write_jsonl(jb);
+  EXPECT_EQ(ca.str(), cb.str());
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(Tracer, ChromeTraceParsesAndCarriesMetadata) {
+  Tracer t;
+  t.set_enabled(true);
+  record_canonical_events(t);
+  std::ostringstream out;
+  t.write_chrome_trace(out);
+  const auto json = util::JsonValue::parse(out.str());
+  ASSERT_TRUE(json.contains("traceEvents"));
+  const auto& events = json.at("traceEvents");
+  // 2 thread_name metadata records + 5 events.
+  ASSERT_EQ(events.size(), 7u);
+  // Metadata first, naming the tracks.
+  EXPECT_EQ(events.at(0).at("ph").as_string(), "M");
+  EXPECT_EQ(events.at(0).at("name").as_string(), "thread_name");
+  // The first real event: instant at ts = 1.5 ms = 1500 us.
+  const auto& first = events.at(2);
+  EXPECT_EQ(first.at("ph").as_string(), "i");
+  EXPECT_DOUBLE_EQ(first.at("ts").as_number(), 1500.0);
+  EXPECT_EQ(first.at("args").at("kind").as_string(), "heartbeat");
+}
+
+TEST(Tracer, JsonlLinesParseStandalone) {
+  Tracer t;
+  t.set_enabled(true);
+  record_canonical_events(t);
+  std::ostringstream out;
+  t.write_jsonl(out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    const auto json = util::JsonValue::parse(line);
+    EXPECT_TRUE(json.contains("ts_ms"));
+    EXPECT_TRUE(json.contains("ph"));
+    EXPECT_TRUE(json.contains("name"));
+    ++lines;
+  }
+  EXPECT_EQ(lines, t.size());
+}
+
+// ---------------------------------------------------------------------
+// profiler
+// ---------------------------------------------------------------------
+
+TEST(Profiler, DisabledSpansCostNothingVisible) {
+  Profiler& p = Profiler::global();
+  p.set_enabled(false);
+  p.reset();
+  {
+    OBS_SPAN("test.disabled");
+  }
+  EXPECT_TRUE(p.spans().empty());
+}
+
+TEST(Profiler, NestedSpansTrackDepth) {
+  Profiler& p = Profiler::global();
+  p.set_enabled(true);
+  p.reset();
+  {
+    OBS_SPAN("test.outer");
+    EXPECT_EQ(p.current_depth(), 1);
+    {
+      OBS_SPAN("test.inner");
+      EXPECT_EQ(p.current_depth(), 2);
+    }
+  }
+  p.set_enabled(false);
+  EXPECT_EQ(p.current_depth(), 0);
+  ASSERT_EQ(p.spans().size(), 2u);
+  const auto& outer = p.spans().at("test.outer");
+  const auto& inner = p.spans().at("test.inner");
+  EXPECT_EQ(outer.count, 1u);
+  EXPECT_EQ(inner.count, 1u);
+  EXPECT_EQ(outer.max_depth, 1);
+  EXPECT_EQ(inner.max_depth, 2);
+  // Outer wall time encloses inner.
+  EXPECT_GE(outer.total_ms, inner.total_ms);
+  const auto json = p.to_json();
+  EXPECT_FALSE(json.at("deterministic").as_bool());
+  p.reset();
+}
+
+// ---------------------------------------------------------------------
+// logger
+// ---------------------------------------------------------------------
+
+TEST(Log, LevelsFilterAndFormat) {
+  Logger& logger = log();
+  std::ostringstream captured;
+  logger.set_stream(&captured);
+  logger.set_level(LogLevel::kWarn);
+  logger.error("boom");
+  logger.warn("careful");
+  logger.info("ignored");
+  logger.debug("ignored too");
+  logger.set_stream(nullptr);
+  logger.set_level(LogLevel::kInfo);
+  EXPECT_EQ(captured.str(), "[error] boom\n[warn] careful\n");
+}
+
+TEST(Log, QuietSilencesEverything) {
+  Logger& logger = log();
+  std::ostringstream captured;
+  logger.set_stream(&captured);
+  logger.set_level(LogLevel::kQuiet);
+  logger.error("nope");
+  logger.set_stream(nullptr);
+  logger.set_level(LogLevel::kInfo);
+  EXPECT_EQ(captured.str(), "");
+}
+
+TEST(Log, ParseNamesAndAliases) {
+  EXPECT_EQ(parse_log_level("quiet"), LogLevel::kQuiet);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kQuiet);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_FALSE(parse_log_level("shout").has_value());
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "info");
+}
+
+// ---------------------------------------------------------------------
+// report-as-view + simulation tracing
+// ---------------------------------------------------------------------
+
+ctrl::RecoveryPolicy pm_policy() {
+  return [](const sdwan::FailureState& state,
+            const core::RecoveryPlan* previous) {
+    core::PmOptions opts;
+    opts.seed = previous;
+    return core::run_pm(state, opts);
+  };
+}
+
+TEST(ObsIntegration, ReportIsAViewOverTheRegistry) {
+  const sdwan::Network net = core::make_att_network();
+  ctrl::ControlSimulation sim(net, pm_policy());
+  sim.fail_controller_at(3, 500.0);
+  const ctrl::SimulationReport report = sim.run(5000.0);
+  const MetricsRegistry& m = sim.observability().metrics;
+  EXPECT_EQ(report.messages_sent, m.counter_value("pm_messages_sent_total"));
+  EXPECT_EQ(report.recovery_waves,
+            m.counter_value("pm_recovery_waves_total"));
+  EXPECT_DOUBLE_EQ(report.detected_at, m.gauge_value("pm_detected_at_ms"));
+  EXPECT_DOUBLE_EQ(report.converged_at,
+                   m.gauge_value("pm_converged_at_ms"));
+  EXPECT_EQ(report.all_flows_deliverable,
+            m.gauge_value("pm_all_flows_deliverable") != 0.0);
+  EXPECT_EQ(report.messages_by_kind,
+            m.counters_by_label("pm_messages_total", "kind"));
+  // Sanity: the run actually did something.
+  EXPECT_GT(report.messages_sent, 0u);
+  EXPECT_GE(report.recovery_waves, 1u);
+  EXPECT_TRUE(report.all_flows_deliverable);
+}
+
+TEST(ObsIntegration, TracedRunsAreDeterministic) {
+  const sdwan::Network net = core::make_att_network();
+  auto traced_run = [&] {
+    ctrl::ControlSimulation sim(net, pm_policy());
+    sim.observability().tracer.set_enabled(true);
+    sim.observability().detailed_metrics = true;
+    sim.fail_controller_at(3, 500.0);
+    sim.fail_controller_at(4, 2000.0);
+    sim.run(5000.0);
+    std::ostringstream trace, metrics;
+    sim.observability().tracer.write_chrome_trace(trace);
+    sim.observability().metrics.write_prometheus(metrics);
+    return std::pair{trace.str(), metrics.str()};
+  };
+  const auto [trace_a, metrics_a] = traced_run();
+  const auto [trace_b, metrics_b] = traced_run();
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_EQ(metrics_a, metrics_b);
+  // And the trace is real: it parses and contains protocol events.
+  const auto json = util::JsonValue::parse(trace_a);
+  EXPECT_GT(json.at("traceEvents").size(), 100u);
+  // Detailed metrics recorded per-message latency.
+  EXPECT_NE(metrics_a.find("pm_message_latency_ms_count"),
+            std::string::npos);
+  EXPECT_NE(metrics_a.find("pm_wave_convergence_ms_count"),
+            std::string::npos);
+}
+
+TEST(ObsIntegration, UntracedRunRecordsNoEvents) {
+  const sdwan::Network net = core::make_att_network();
+  ctrl::ControlSimulation sim(net, pm_policy());
+  sim.fail_controller_at(3, 500.0);
+  sim.run(3000.0);
+  EXPECT_EQ(sim.observability().tracer.size(), 0u);
+  // Hot-path metrics stayed off; summary metrics still published.
+  EXPECT_EQ(sim.observability().metrics.counter_value(
+                "pm_message_latency_ms"),
+            0u);
+  EXPECT_GT(sim.observability().metrics.series_count(), 10u);
+}
+
+}  // namespace
+}  // namespace pm::obs

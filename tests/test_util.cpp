@@ -84,6 +84,60 @@ TEST(Stats, ToDoublesConvertsIntegers) {
   EXPECT_DOUBLE_EQ(d[2], 3.0);
 }
 
+TEST(Stats, AllDuplicatesCollapseTheBox) {
+  const std::vector<double> v{4, 4, 4, 4, 4};
+  const BoxStats s = box_stats(v);
+  EXPECT_EQ(s.min, 4.0);
+  EXPECT_EQ(s.q1, 4.0);
+  EXPECT_EQ(s.median, 4.0);
+  EXPECT_EQ(s.q3, 4.0);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_EQ(s.mean, 4.0);
+  EXPECT_EQ(stddev(v), 0.0);
+}
+
+TEST(Stats, QuantileSingleElementAndDuplicates) {
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 1.0), 5.0);
+  // Ties at the interpolation point still interpolate to the tied value.
+  const std::vector<double> dup{1, 2, 2, 2, 9};
+  EXPECT_DOUBLE_EQ(quantile_sorted(dup, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(dup, 0.25), 2.0);
+}
+
+TEST(Stats, BucketIndexBoundariesAreUpperInclusive) {
+  const std::vector<double> bounds{1.0, 5.0, 10.0};
+  // Prometheus semantics: bucket b counts v <= upper_bound[b].
+  EXPECT_EQ(bucket_index(bounds, 0.5), 0u);
+  EXPECT_EQ(bucket_index(bounds, 1.0), 0u);   // exactly on a bound
+  EXPECT_EQ(bucket_index(bounds, 1.0001), 1u);
+  EXPECT_EQ(bucket_index(bounds, 10.0), 2u);
+  EXPECT_EQ(bucket_index(bounds, 11.0), 3u);  // +Inf overflow bucket
+  EXPECT_EQ(bucket_index(bounds, std::nan("")), 3u);
+}
+
+TEST(Stats, BucketIndexEmptyBounds) {
+  EXPECT_EQ(bucket_index({}, 42.0), 0u);  // only the overflow bucket
+}
+
+TEST(Stats, HistogramCountsCoverSample) {
+  const std::vector<double> bounds{1.0, 5.0};
+  const std::vector<double> sample{0.5, 1.0, 3.0, 5.0, 7.0, 100.0};
+  const auto counts = histogram_counts(sample, bounds);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);  // 0.5, 1.0
+  EXPECT_EQ(counts[1], 2u);  // 3.0, 5.0
+  EXPECT_EQ(counts[2], 2u);  // 7.0, 100.0
+}
+
+TEST(Stats, HistogramCountsEmptySample) {
+  const auto counts = histogram_counts({}, std::vector<double>{1.0, 2.0});
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 0u);
+}
+
 // ---------------------------------------------------------------------
 // strings
 // ---------------------------------------------------------------------
