@@ -12,12 +12,19 @@
 //
 // Usage: ./build/bench/chaos_convergence [--seed=42] [--dup=0.02]
 //        [--until=20000] [--csv=chaos.csv] [--json]
+//        [--mid-recovery] [--mid-csv=mid.csv]
 //        [--trace-out=t.json] [--metrics-out=m.prom] [--log-level=info]
 //
 // The observability flags apply to the harshest cell of the sweep
 // (highest loss + jitter) so the exported trace shows the
 // reliable-delivery machinery at its busiest; the sweep table, CSV and
 // JSON outputs are byte-identical with or without them.
+//
+// --mid-recovery appends a second sweep that kills a SECOND controller
+// 350 ms after the first failure — inside the recovery window — once
+// targeting the coordinator and once a wave-1 adopter, with the
+// transactional machinery (epoch guard, failover/replan, rollback)
+// enabled. The default table/CSV/JSON above are unchanged by the flag.
 #include <iostream>
 #include <vector>
 
@@ -52,6 +59,12 @@ pm::ctrl::SimulationReport run_cell(const pm::sdwan::Network& net,
   // Hysteresis sized for the sweep's jitter range: three consecutive
   // missed detector checks before suspecting a peer.
   config.suspicion_checks = 3;
+  // The legacy sweep benchmarks the pre-transactional protocol and its
+  // numbers are pinned bit-for-bit across commits; under 20% loss the
+  // epoch guard (correctly) discards late prior-wave acks, which shifts
+  // convergence, so transactional enforcement is exercised by the
+  // --mid-recovery sweep below instead.
+  config.transactional = false;
   pm::ctrl::ControlSimulation simulation(
       net,
       [](const pm::sdwan::FailureState& state,
@@ -80,6 +93,45 @@ pm::ctrl::SimulationReport run_cell(const pm::sdwan::Network& net,
   return report;
 }
 
+struct KillCell {
+  double loss = 0.0;
+  double jitter_ms = 0.0;
+  std::string kill;
+  pm::ctrl::SimulationReport report;
+};
+
+// One mid-recovery cell: controller 3 (C13) fails at t=500; the kill
+// target fails at t=850, squarely inside the first recovery wave. Runs
+// with transactional enforcement ON — this sweep measures the
+// failover/replan/rollback machinery the legacy sweep deliberately
+// pins off.
+pm::ctrl::SimulationReport run_kill_cell(const pm::sdwan::Network& net,
+                                         double loss, double jitter_ms,
+                                         double dup, std::uint64_t seed,
+                                         double until_ms,
+                                         pm::sdwan::ControllerId kill) {
+  pm::ctrl::ControllerConfig config;
+  config.suspicion_checks = 3;
+  pm::ctrl::ControlSimulation simulation(
+      net,
+      [](const pm::sdwan::FailureState& state,
+         const pm::core::RecoveryPlan* previous) {
+        pm::core::PmOptions opts;
+        opts.seed = previous;
+        return pm::core::run_pm(state, opts);
+      },
+      config);
+  pm::ctrl::ChannelFaultModel faults;
+  faults.seed = seed;
+  faults.drop_probability = loss;
+  faults.duplicate_probability = dup;
+  faults.jitter_ms = jitter_ms;
+  simulation.set_fault_model(faults);
+  simulation.fail_controller_at(3, 500.0);  // C13
+  simulation.fail_controller_at(kill, 850.0);
+  return simulation.run(until_ms);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,6 +144,9 @@ int main(int argc, char** argv) {
   std::optional<std::string> csv_path;
   if (args.has("csv")) csv_path = args.get_string("csv", "");
   const bool as_json = args.get_bool("json", false);
+  const bool mid_recovery = args.get_bool("mid-recovery", false);
+  std::optional<std::string> mid_csv_path;
+  if (args.has("mid-csv")) mid_csv_path = args.get_string("mid-csv", "");
   const obs::ObsOptions obs_options = obs::parse_obs_flags(args);
   for (const auto& unused : args.unused()) {
     obs::log().warn("unrecognized flag --" + unused);
@@ -121,8 +176,8 @@ int main(int argc, char** argv) {
   for (const auto& c : cells) {
     t.add_row({util::format_double(100.0 * c.loss, 0) + "%",
                util::format_double(c.jitter_ms, 0),
-               util::format_double(c.report.detected_at, 1),
-               util::format_double(c.report.converged_at, 1),
+               util::format_double(c.report.detected_at.value_or(-1.0), 1),
+               util::format_double(c.report.converged_at.value_or(-1.0), 1),
                std::to_string(c.report.retransmissions),
                std::to_string(c.report.duplicates_suppressed),
                std::to_string(c.report.spurious_detections),
@@ -153,8 +208,10 @@ int main(int argc, char** argv) {
     for (const auto& c : cells) {
       csv.write_row({util::format_double(c.loss, 2),
                      util::format_double(c.jitter_ms, 1),
-                     util::format_double(c.report.detected_at, 3),
-                     util::format_double(c.report.converged_at, 3),
+                     util::format_double(c.report.detected_at.value_or(-1.0),
+                                         3),
+                     util::format_double(
+                         c.report.converged_at.value_or(-1.0), 3),
                      std::to_string(c.report.messages_sent),
                      std::to_string(c.report.injected_drops),
                      std::to_string(c.report.injected_duplicates),
@@ -173,8 +230,8 @@ int main(int argc, char** argv) {
       util::JsonValue row = util::JsonValue::object();
       row["loss"] = c.loss;
       row["jitter_ms"] = c.jitter_ms;
-      row["detected_ms"] = c.report.detected_at;
-      row["converged_ms"] = c.report.converged_at;
+      row["detected_ms"] = c.report.detected_at.value_or(-1.0);
+      row["converged_ms"] = c.report.converged_at.value_or(-1.0);
       row["retransmissions"] =
           static_cast<std::int64_t>(c.report.retransmissions);
       row["duplicates_suppressed"] =
@@ -187,6 +244,92 @@ int main(int argc, char** argv) {
       rows.push_back(std::move(row));
     }
     std::cout << rows.to_string(2) << "\n";
+  }
+  if (mid_recovery) {
+    // The coordinator after C13's failure is the lowest surviving id
+    // (controller 0); the adopter target is the highest-id controller
+    // the wave-1 plan hands switches to, so the kill lands on a node
+    // with in-flight flow-mods of its own.
+    sdwan::FailureScenario scenario;
+    scenario.failed = {3};
+    const sdwan::FailureState state(net, scenario);
+    const core::RecoveryPlan wave1 = core::run_pm(state, {});
+    sdwan::ControllerId adopter = -1;
+    for (const auto& [sw, j] : wave1.mapping) {
+      if (j != 0) adopter = std::max(adopter, j);
+    }
+    const std::vector<std::pair<std::string, sdwan::ControllerId>> kills =
+        {{"coordinator", 0}, {"adopter", adopter}};
+    const std::vector<double> mid_losses = {0.0, 0.02, 0.05};
+    const std::vector<double> mid_jitters = {0.0, 20.0};
+
+    std::vector<KillCell> kill_cells;
+    for (const auto& [label, target] : kills) {
+      for (const double jitter : mid_jitters) {
+        for (const double loss : mid_losses) {
+          kill_cells.push_back(
+              {loss, jitter, label,
+               run_kill_cell(net, loss, jitter, dup, seed, until,
+                             target)});
+        }
+      }
+    }
+
+    std::cout << "\n=== Mid-recovery kill sweep: second failure at "
+                 "t=850 ms, inside the first wave (transactional) ===\n\n";
+    util::TextTable mid({"kill", "loss", "jitter_ms", "detected_ms",
+                         "converged_ms", "failovers", "aborted",
+                         "rb_removes", "stale_disc", "audit_viol",
+                         "deliverable"});
+    bool mid_ok = true;
+    for (const auto& c : kill_cells) {
+      mid.add_row(
+          {c.kill, util::format_double(100.0 * c.loss, 0) + "%",
+           util::format_double(c.jitter_ms, 0),
+           util::format_double(c.report.detected_at.value_or(-1.0), 1),
+           util::format_double(c.report.converged_at.value_or(-1.0), 1),
+           std::to_string(c.report.coordinator_failovers),
+           std::to_string(c.report.waves_aborted),
+           std::to_string(c.report.rollback_removals),
+           std::to_string(c.report.stale_discarded),
+           std::to_string(c.report.audit_violations),
+           c.report.all_flows_deliverable ? "yes" : "NO"});
+      mid_ok &= c.report.all_flows_deliverable && c.report.audit_clean;
+    }
+    mid.print(std::cout);
+    std::cout << "\n"
+              << (mid_ok ? "every mid-recovery cell converged with a "
+                           "clean consistency audit"
+                         : "WARNING: mid-recovery cells broke delivery "
+                           "or consistency")
+              << "\n";
+    all_deliverable &= mid_ok;
+
+    if (mid_csv_path) {
+      std::ofstream out(*mid_csv_path);
+      util::CsvWriter csv(out);
+      csv.write_row({"kill", "loss", "jitter_ms", "detected_ms",
+                     "converged_ms", "coordinator_failovers",
+                     "waves_aborted", "rollback_removals",
+                     "stale_discarded", "audit_violations",
+                     "all_flows_deliverable"});
+      for (const auto& c : kill_cells) {
+        csv.write_row(
+            {c.kill, util::format_double(c.loss, 2),
+             util::format_double(c.jitter_ms, 1),
+             util::format_double(c.report.detected_at.value_or(-1.0), 3),
+             util::format_double(c.report.converged_at.value_or(-1.0),
+                                 3),
+             std::to_string(c.report.coordinator_failovers),
+             std::to_string(c.report.waves_aborted),
+             std::to_string(c.report.rollback_removals),
+             std::to_string(c.report.stale_discarded),
+             std::to_string(c.report.audit_violations),
+             c.report.all_flows_deliverable ? "true" : "false"});
+      }
+      std::cout << "[mid-recovery csv written to " << *mid_csv_path
+                << "]\n";
+    }
   }
   return all_deliverable ? 0 : 1;
 }

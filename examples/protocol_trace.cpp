@@ -7,6 +7,7 @@
 //
 // Usage: ./build/examples/protocol_trace [--fail=13,20]
 //        [--second-failure-at=3000] [--until=10000]
+//        [--kill-at=<time>:<controller>]... [--no-transactional]
 //        [--heartbeat=50] [--timeout=200] [--suspicion-checks=1]
 //        [--retries=5] [--backoff=2] [--rto-margin=60]
 //        [--loss=0.1] [--dup=0.05] [--jitter=20]
@@ -15,12 +16,19 @@
 //        [--metrics-out=m.prom] [--metrics-json=m.json]
 //        [--profile-out=p.json] [--log-level=info]
 //
+// --kill-at is repeatable and may land INSIDE a recovery window: killing
+// the coordinator (or an adopting controller) mid-wave exercises the
+// transactional failover/replan/rollback path. <controller> is a
+// controller id or its topology node location (e.g. 850:0 or 850:4).
+//
 // --trace-out writes a Chrome trace_event file (load in Perfetto /
 // chrome://tracing); --metrics-out writes Prometheus text exposition.
 // Both derive from the simulated clock only, so same-seed runs produce
 // byte-identical files.
 #include <iostream>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "core/pm_algorithm.hpp"
 #include "core/scenario.hpp"
@@ -44,6 +52,8 @@ int main(int argc, char** argv) {
   config.max_retries = static_cast<int>(args.get_int("retries", 5));
   config.retransmit_backoff = args.get_double("backoff", 2.0);
   config.retransmit_margin_ms = args.get_double("rto-margin", 60.0);
+  config.transactional = !args.get_bool("no-transactional", false);
+  const std::vector<std::string> kill_specs = args.get_strings("kill-at");
 
   ctrl::ChannelFaultModel faults;
   faults.drop_probability = args.get_double("loss", 0.0);
@@ -97,14 +107,48 @@ int main(int argc, char** argv) {
     simulation.fail_controller_at(j, at);
     at = second_at;
   }
+  // Additional kills, usable inside the recovery window: each spec is
+  // <time>:<controller>, controller given as id or node location.
+  for (const std::string& spec : kill_specs) {
+    const auto parts = util::split(spec, ':');
+    double t = 0.0;
+    long long who = -1;
+    if (parts.size() != 2 || !util::parse_double(parts[0], t) ||
+        !util::parse_int(parts[1], who)) {
+      obs::log().warn("ignoring malformed --kill-at=" + spec);
+      continue;
+    }
+    int target = -1;
+    for (int j = 0; j < net.controller_count(); ++j) {
+      if (net.controller(j).location == static_cast<int>(who)) target = j;
+    }
+    if (target < 0 && who >= 0 && who < net.controller_count()) {
+      target = static_cast<int>(who);
+    }
+    if (target < 0) {
+      obs::log().warn("ignoring --kill-at=" + spec +
+                      ": no such controller");
+      continue;
+    }
+    std::cout << "scheduling crash of " << net.controller(target).name
+              << " at t=" << util::format_double(t, 0)
+              << " ms (mid-recovery kill)\n";
+    simulation.fail_controller_at(target, t);
+  }
 
   const ctrl::SimulationReport report = simulation.run(until);
 
   std::cout << "\ntimeline:\n"
-            << "  first detection   t=" << util::format_double(
-                   report.detected_at, 1) << " ms\n"
-            << "  last wave acked   t=" << util::format_double(
-                   report.converged_at, 1) << " ms\n"
+            << "  first detection   t="
+            << (report.detected_at
+                    ? util::format_double(*report.detected_at, 1) + " ms"
+                    : std::string("never"))
+            << "\n"
+            << "  last wave acked   t="
+            << (report.converged_at
+                    ? util::format_double(*report.converged_at, 1) + " ms"
+                    : std::string("never"))
+            << "\n"
             << "  recovery waves    " << report.recovery_waves << "\n"
             << "  adopted switches  " << report.adopted_switches << "\n"
             << "  flows programmed  " << report.flows_with_entries << "\n"
@@ -116,6 +160,29 @@ int main(int argc, char** argv) {
     std::cout << "  degraded          " << report.degraded_flows
               << " flows, " << report.degraded_switches
               << " switches (legacy fallback)\n";
+  }
+  std::cout << "  consistency audit "
+            << (report.audit_clean
+                    ? "clean ✓"
+                    : std::to_string(report.audit_violations) +
+                          " violation(s)")
+            << "\n";
+  if (!report.audit_clean) {
+    for (const auto& [invariant, count] :
+         simulation.audit().by_invariant()) {
+      std::cout << "    " << invariant << "  " << count << "\n";
+    }
+  }
+  if (report.waves_aborted > 0 || report.coordinator_failovers > 0 ||
+      report.rollback_removals > 0 || report.stale_discarded > 0) {
+    std::cout << "\ntransactional recovery:\n"
+              << "  waves aborted     " << report.waves_aborted << "\n"
+              << "  coord failovers   " << report.coordinator_failovers
+              << "\n"
+              << "  rollback removes  " << report.rollback_removals
+              << "\n"
+              << "  stale discarded   " << report.stale_discarded
+              << "\n";
   }
   if (faults.active()) {
     std::cout << "\nreliable delivery under faults:\n"

@@ -109,8 +109,15 @@ void ControllerNode::run_recovery() {
   sdwan::FailureScenario scenario;
   scenario.failed.assign(suspected_.begin(), suspected_.end());
   const sdwan::FailureState state(*net_, scenario);
-  const core::RecoveryPlan* previous =
-      installed_plan_ ? &*installed_plan_ : nullptr;
+  // Seed the policy with the last plan this node installed, or — when
+  // taking over a dead coordinator's wave — with the shared store's last
+  // distributed plan, so the successor still replans incrementally.
+  const core::RecoveryPlan* previous = nullptr;
+  if (installed_plan_) {
+    previous = &*installed_plan_;
+  } else if (shared_->last_plan) {
+    previous = &*shared_->last_plan;
+  }
   core::RecoveryPlan plan = policy_(state, previous);
   ++recoveries_run_;
   // A new wave supersedes the old one: stale retransmission timers must
@@ -118,14 +125,44 @@ void ControllerNode::run_recovery() {
   cancel_wave_timers();
   mod_retries_.clear();
   role_retries_.clear();
+  const double now = queue_->now();
+  obs::Context* obs = channel_->observability();
+  if (shared_->phase == WavePhase::kPreparing) {
+    // The previous wave never committed; this wave supersedes it (its
+    // epoch bump invalidates every in-flight message and timer).
+    ++shared_->waves_aborted;
+    shared_->phase = WavePhase::kAborted;
+    if (obs != nullptr && obs->tracer.enabled()) {
+      obs->tracer.instant(
+          now, "wave", "wave.abort", tracks::kWaves,
+          {{"epoch", static_cast<std::int64_t>(shared_->wave_epoch)},
+           {"pending_acks",
+            static_cast<std::int64_t>(shared_->pending_acks.size())}});
+    }
+  }
+  if (shared_->coordinator >= 0 && shared_->coordinator != id_ &&
+      suspected_.contains(shared_->coordinator)) {
+    ++shared_->coordinator_failovers;
+    if (obs != nullptr && obs->tracer.enabled()) {
+      obs->tracer.instant(
+          now, "wave", "coordinator.failover", tracks::controller(id_),
+          {{"dead_coordinator", static_cast<int>(shared_->coordinator)},
+           {"successor", static_cast<int>(id_)}});
+    }
+  }
+  shared_->coordinator = id_;
   ++shared_->wave_epoch;
   shared_->converged_at = -1.0;
   shared_->pending_acks.clear();
   shared_->pending_roles.clear();
   shared_->wave_active = true;
-  shared_->wave_started_at = queue_->now();
-  if (obs::Context* obs = channel_->observability();
-      obs != nullptr && obs->tracer.enabled()) {
+  shared_->wave_started_at = now;
+  shared_->phase = WavePhase::kPreparing;
+  shared_->slices.clear();
+  shared_->wave_masters.clear();
+  shared_->rolled_back_flows.clear();
+  shared_->pending_removals.clear();
+  if (obs != nullptr && obs->tracer.enabled()) {
     obs->tracer.instant(
         queue_->now(), "wave", "wave.start", tracks::kWaves,
         {{"coordinator", static_cast<int>(id_)},
@@ -134,6 +171,18 @@ void ControllerNode::run_recovery() {
          {"mapped_switches", static_cast<std::int64_t>(plan.mapping.size())},
          {"sdn_assignments",
           static_cast<std::int64_t>(plan.sdn_assignments.size())}});
+  }
+
+  // Entries an earlier wave installed that the new plan no longer wants:
+  // removed at the end of this wave's distribution (the rollback half of
+  // commit — without it a shrinking plan leaves orphan entries behind).
+  std::vector<std::pair<sdwan::SwitchId, sdwan::FlowId>> stale_installed;
+  if (config_.transactional) {
+    for (const auto& [key, epoch] : shared_->installed) {
+      if (!plan.sdn_assignments.contains(key)) {
+        stale_installed.push_back(key);
+      }
+    }
   }
 
   // Distribute: RoleRequest per adopted switch, then the flow-mods. Every
@@ -146,9 +195,28 @@ void ControllerNode::run_recovery() {
     Message role;
     role.from = controller_endpoint(*net_, adopter);
     role.to = switch_endpoint(sw);
-    role.body = RoleRequest{adopter};
+    role.body = RoleRequest{adopter, shared_->wave_epoch};
     role.seq = channel_->send(role);
     shared_->pending_roles.insert(sw);
+    if (config_.transactional) {
+      shared_->wave_masters[sw] = adopter;
+      shared_->slices[adopter].pending_roles.insert(sw);
+    }
+    arm_role_retry(sw, role);
+  }
+  // Cleanup adoptions: a switch holding stale entries but absent from the
+  // new mapping needs a master before a removal can be applied (the
+  // master check would silently drop it). The coordinator adopts it.
+  for (const auto& [sw, flow] : stale_installed) {
+    if (shared_->wave_masters.contains(sw)) continue;
+    Message role;
+    role.from = controller_endpoint(*net_, id_);
+    role.to = switch_endpoint(sw);
+    role.body = RoleRequest{id_, shared_->wave_epoch};
+    role.seq = channel_->send(role);
+    shared_->pending_roles.insert(sw);
+    shared_->wave_masters[sw] = id_;
+    shared_->slices[id_].pending_roles.insert(sw);
     arm_role_retry(sw, role);
   }
   for (const auto& [sw, flow] : plan.sdn_assignments) {
@@ -171,14 +239,161 @@ void ControllerNode::run_recovery() {
     FlowMod body;
     body.entry = {10, {f.src, f.dst}, next_hop};
     body.xid = shared_->next_xid++;
+    body.epoch = shared_->wave_epoch;
     mod.body = body;
     shared_->pending_acks.insert(body.xid);
-    shared_->xid_flow[body.xid] = flow;
+    shared_->xid_mods[body.xid] = {flow, sw, adopter, false};
+    if (config_.transactional) {
+      shared_->slices[adopter].pending_acks.insert(body.xid);
+    }
     mod.seq = channel_->send(mod, plan.middle_layer_ms);
     arm_mod_retry(body.xid, mod, plan.middle_layer_ms);
   }
+  if (config_.transactional) shared_->last_plan = plan;
   installed_plan_ = std::move(plan);
+  for (const auto& [sw, flow] : stale_installed) {
+    send_rollback_remove(sw, flow);
+  }
   if (shared_->pending_acks.empty()) maybe_mark_converged();
+}
+
+sdwan::FlowId ControllerNode::flow_by_match(sdwan::SwitchId src,
+                                            sdwan::SwitchId dst) {
+  if (match_to_flow_.empty()) {
+    for (const auto& f : net_->flows()) {
+      match_to_flow_[{f.src, f.dst}] = f.id;
+    }
+  }
+  const auto it = match_to_flow_.find({src, dst});
+  return it == match_to_flow_.end() ? -1 : it->second;
+}
+
+void ControllerNode::send_rollback_remove(sdwan::SwitchId sw,
+                                          sdwan::FlowId flow) {
+  if (!shared_->pending_removals.insert({sw, flow}).second) return;
+  // The removal must come from the switch's current master, or the
+  // master check drops it. If no wave touched the switch yet (a mid-wave
+  // flow rollback hitting an unmapped switch), adopt it first.
+  sdwan::ControllerId master = id_;
+  const auto it = shared_->wave_masters.find(sw);
+  if (it != shared_->wave_masters.end()) {
+    master = it->second;
+  } else {
+    Message role;
+    role.from = controller_endpoint(*net_, id_);
+    role.to = switch_endpoint(sw);
+    role.body = RoleRequest{id_, shared_->wave_epoch};
+    role.seq = channel_->send(role);
+    shared_->pending_roles.insert(sw);
+    shared_->wave_masters[sw] = id_;
+    shared_->slices[id_].pending_roles.insert(sw);
+    arm_role_retry(sw, role);
+  }
+  const auto& f = net_->flow(flow);
+  Message mod;
+  mod.from = controller_endpoint(*net_, master);
+  mod.to = switch_endpoint(sw);
+  FlowMod body;
+  body.entry = {10, {f.src, f.dst}, -1};
+  body.remove = true;
+  body.xid = shared_->next_xid++;
+  body.epoch = shared_->wave_epoch;
+  mod.body = body;
+  shared_->pending_acks.insert(body.xid);
+  shared_->xid_mods[body.xid] = {flow, sw, master, true};
+  shared_->slices[master].pending_acks.insert(body.xid);
+  mod.seq = channel_->send(mod);
+  arm_mod_retry(body.xid, mod, 0.0);
+  ++shared_->rollback_removals;
+  if (obs::Context* obs = channel_->observability();
+      obs != nullptr && obs->tracer.enabled()) {
+    obs->tracer.instant(queue_->now(), "wave", "rollback.remove",
+                        tracks::controller(id_),
+                        {{"switch", static_cast<int>(sw)},
+                         {"flow", static_cast<int>(flow)},
+                         {"xid", static_cast<std::int64_t>(body.xid)}});
+  }
+}
+
+void ControllerNode::roll_back_flow(sdwan::FlowId flow) {
+  if (!shared_->rolled_back_flows.insert(flow).second) return;
+  // Cancel the flow's sibling installs still pending in this wave — the
+  // flow is going back to legacy wholesale, a partial install would be
+  // exactly the mixed state rollback exists to prevent.
+  std::vector<std::uint64_t> cancelled;
+  for (const auto& [xid, retry] : mod_retries_) {
+    const auto rec = shared_->xid_mods.find(xid);
+    if (rec == shared_->xid_mods.end() || rec->second.remove) continue;
+    if (rec->second.flow == flow &&
+        shared_->pending_acks.contains(xid)) {
+      cancelled.push_back(xid);
+    }
+  }
+  for (const std::uint64_t xid : cancelled) {
+    shared_->pending_acks.erase(xid);
+    slice_ack_done(xid);
+    const auto it = mod_retries_.find(xid);
+    if (it != mod_retries_.end()) {
+      queue_->cancel(it->second.timer);
+      mod_retries_.erase(it);
+    }
+  }
+  // Remove what already made it into the data plane.
+  std::vector<std::pair<sdwan::SwitchId, sdwan::FlowId>> to_remove;
+  for (const auto& [key, epoch] : shared_->installed) {
+    if (key.second == flow) to_remove.push_back(key);
+  }
+  for (const auto& [sw, fl] : to_remove) {
+    send_rollback_remove(sw, fl);
+  }
+  if (obs::Context* obs = channel_->observability();
+      obs != nullptr && obs->tracer.enabled()) {
+    obs->tracer.instant(
+        queue_->now(), "wave", "rollback.flow", tracks::controller(id_),
+        {{"flow", static_cast<int>(flow)},
+         {"cancelled_installs", static_cast<std::int64_t>(cancelled.size())},
+         {"removed_entries", static_cast<std::int64_t>(to_remove.size())}});
+  }
+}
+
+void ControllerNode::slice_role_done(sdwan::SwitchId sw) {
+  if (!config_.transactional) return;
+  const auto master = shared_->wave_masters.find(sw);
+  if (master == shared_->wave_masters.end()) return;
+  const auto slice = shared_->slices.find(master->second);
+  if (slice == shared_->slices.end()) return;
+  slice->second.pending_roles.erase(sw);
+  maybe_mark_slice_prepared(master->second);
+}
+
+void ControllerNode::slice_ack_done(std::uint64_t xid) {
+  if (!config_.transactional) return;
+  const auto rec = shared_->xid_mods.find(xid);
+  if (rec == shared_->xid_mods.end()) return;
+  const auto slice = shared_->slices.find(rec->second.adopter);
+  if (slice == shared_->slices.end()) return;
+  slice->second.pending_acks.erase(xid);
+  maybe_mark_slice_prepared(rec->second.adopter);
+}
+
+void ControllerNode::maybe_mark_slice_prepared(
+    sdwan::ControllerId adopter) {
+  const auto it = shared_->slices.find(adopter);
+  if (it == shared_->slices.end()) return;
+  AdopterSlice& slice = it->second;
+  if (slice.prepared || !slice.pending_acks.empty() ||
+      !slice.pending_roles.empty()) {
+    return;
+  }
+  slice.prepared = true;
+  if (obs::Context* obs = channel_->observability();
+      obs != nullptr && obs->tracer.enabled()) {
+    obs->tracer.instant(
+        queue_->now(), "wave", "slice.prepared",
+        tracks::controller(adopter),
+        {{"adopter", static_cast<int>(adopter)},
+         {"epoch", static_cast<std::int64_t>(shared_->wave_epoch)}});
+  }
 }
 
 double ControllerNode::initial_rto(const Message& msg,
@@ -229,17 +444,35 @@ void ControllerNode::on_mod_timer(std::uint64_t xid) {
     // Give up: the flow degrades to legacy forwarding instead of wedging
     // the wave; the audit reports it.
     shared_->pending_acks.erase(xid);
-    const auto flow = shared_->xid_flow.find(xid);
-    if (flow != shared_->xid_flow.end()) {
-      shared_->degraded_flows.insert(flow->second);
-      if (obs::Context* obs = channel_->observability();
-          obs != nullptr && obs->tracer.enabled()) {
-        obs->tracer.instant(
-            queue_->now(), "wave", "degrade.flow",
-            tracks::controller(id_),
-            {{"flow", static_cast<int>(flow->second)},
-             {"xid", static_cast<std::int64_t>(xid)},
-             {"attempts", r.attempts}});
+    slice_ack_done(xid);
+    const auto rec = shared_->xid_mods.find(xid);
+    if (rec != shared_->xid_mods.end()) {
+      const sdwan::FlowId flow = rec->second.flow;
+      const bool was_remove = rec->second.remove;
+      if (was_remove) {
+        // A rollback removal itself exhausted: the entry may linger on
+        // an unreachable switch. Count it; the flow stays degraded.
+        ++shared_->rollback_failures;
+        shared_->degraded_flows.insert(flow);
+      } else {
+        shared_->degraded_flows.insert(flow);
+        if (obs::Context* obs = channel_->observability();
+            obs != nullptr && obs->tracer.enabled()) {
+          obs->tracer.instant(
+              queue_->now(), "wave", "degrade.flow",
+              tracks::controller(id_),
+              {{"flow", static_cast<int>(flow)},
+               {"xid", static_cast<std::int64_t>(xid)},
+               {"attempts", r.attempts}});
+        }
+        // Transactional: degradation means *legacy*, not half-programmed
+        // — cancel the flow's sibling installs and remove what landed.
+        if (config_.transactional) {
+          mod_retries_.erase(it);
+          roll_back_flow(flow);
+          maybe_mark_converged();
+          return;
+        }
       }
     }
     mod_retries_.erase(it);
@@ -266,6 +499,7 @@ void ControllerNode::on_role_timer(sdwan::SwitchId sw) {
       !channel_->is_attached(r.msg.from)) {
     shared_->pending_roles.erase(sw);
     shared_->degraded_switches.insert(sw);
+    slice_role_done(sw);
     if (obs::Context* obs = channel_->observability();
         obs != nullptr && obs->tracer.enabled()) {
       obs->tracer.instant(queue_->now(), "wave", "degrade.switch",
@@ -292,6 +526,12 @@ void ControllerNode::maybe_mark_converged() {
   if (shared_->wave_active && shared_->pending_acks.empty() &&
       shared_->converged_at < 0) {
     shared_->converged_at = queue_->now();
+    // Commit: the last ack landed, the distributed plan is now the data
+    // plane's truth. (Per-adopter slices prepared earlier; the wave-level
+    // commit is the instant the final slice drains.)
+    shared_->phase = WavePhase::kCommitted;
+    shared_->committed_epoch = shared_->wave_epoch;
+    if (shared_->last_plan) shared_->committed_plan = shared_->last_plan;
     if (obs::Context* obs = channel_->observability();
         obs != nullptr) {
       const double wave_ms =
@@ -343,18 +583,88 @@ void ControllerNode::on_message(const Message& m) {
     return;
   }
   if (const auto* ack = std::get_if<FlowModAck>(&m.body)) {
+    const auto rec = shared_->xid_mods.find(ack->xid);
+    if (config_.transactional && ack->epoch != shared_->wave_epoch) {
+      // Ack from a superseded wave: it must not complete work in (or
+      // un-degrade flows of) the current one. But the old wave's mod DID
+      // land on the switch — if the current plan no longer wants that
+      // entry, compensate with a removal at the current epoch.
+      ++shared_->stale_discarded;
+      if (rec != shared_->xid_mods.end() && !rec->second.remove) {
+        const auto key =
+            std::make_pair(rec->second.sw, rec->second.flow);
+        const auto cur = shared_->installed.find(key);
+        if (cur == shared_->installed.end() || cur->second < ack->epoch) {
+          shared_->installed[key] = ack->epoch;
+        }
+        const bool wanted =
+            shared_->last_plan &&
+            shared_->last_plan->sdn_assignments.contains(key);
+        // If wanted, the current wave re-installs (replace-on-install
+        // re-tags the entry); otherwise it is an orphan — remove it.
+        if (!wanted) send_rollback_remove(key.first, key.second);
+      }
+      return;
+    }
     shared_->pending_acks.erase(ack->xid);
-    const auto flow = shared_->xid_flow.find(ack->xid);
-    if (flow != shared_->xid_flow.end()) {
-      // A late ack (e.g. after a retransmission) un-degrades the flow.
-      shared_->degraded_flows.erase(flow->second);
+    if (rec != shared_->xid_mods.end()) {
+      if (config_.transactional) {
+        const auto key =
+            std::make_pair(rec->second.sw, rec->second.flow);
+        if (rec->second.remove) {
+          shared_->installed.erase(key);
+        } else {
+          shared_->installed[key] = ack->epoch;
+          if (shared_->rolled_back_flows.contains(rec->second.flow)) {
+            // Install landed after its flow was rolled back (the
+            // in-flight copy beat the cancellation): compensate
+            // immediately.
+            send_rollback_remove(key.first, key.second);
+          } else {
+            // A late ack (e.g. after a retransmission) un-degrades the
+            // flow.
+            shared_->degraded_flows.erase(rec->second.flow);
+          }
+        }
+        slice_ack_done(ack->xid);
+      } else if (!rec->second.remove) {
+        shared_->degraded_flows.erase(rec->second.flow);
+      }
     }
     maybe_mark_converged();
     return;
   }
   if (const auto* reply = std::get_if<RoleReply>(&m.body)) {
-    shared_->pending_roles.erase(reply->sw);
+    if (config_.transactional && reply->epoch != shared_->wave_epoch) {
+      // Reply to a superseded wave's RoleRequest; the current wave's
+      // own request/retry will collect its own reply.
+      ++shared_->stale_discarded;
+      return;
+    }
+    const bool first = shared_->pending_roles.erase(reply->sw) > 0;
     shared_->degraded_switches.erase(reply->sw);
+    slice_role_done(reply->sw);
+    if (config_.transactional && first) {
+      // Handover resync: the switch reported its installed entries. Any
+      // entry from an earlier epoch was installed by a master that may
+      // have died before its ack arrived — this is the only channel
+      // through which such state reaches the surviving control plane.
+      // Record it, and remove whatever the current plan no longer wants.
+      for (const ReportedEntry& e : reply->entries) {
+        if (e.epoch >= shared_->wave_epoch) continue;
+        const sdwan::FlowId flow = flow_by_match(e.src, e.dst);
+        if (flow < 0) continue;
+        const auto key = std::make_pair(reply->sw, flow);
+        auto& recorded = shared_->installed[key];
+        recorded = std::max(recorded, e.epoch);
+        const bool wanted =
+            shared_->last_plan &&
+            shared_->last_plan->sdn_assignments.contains(key);
+        // Wanted entries are re-installed by this wave's own mods
+        // (replace-on-install re-tags them); orphans are removed.
+        if (!wanted) send_rollback_remove(reply->sw, flow);
+      }
+    }
     return;
   }
 }

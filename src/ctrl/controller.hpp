@@ -21,6 +21,24 @@
 //    is dropped from the wave's pending set (the wave converges instead
 //    of wedging) and the flow/switch is reported as degraded — the
 //    hybrid data plane keeps forwarding it over the legacy/OSPF table.
+//
+// Transactional recovery (epoch-guarded prepare -> commit):
+//  * every wave carries a monotonically increasing epoch, stamped into
+//    all RoleRequests/FlowMods; switches and controllers discard stale
+//    messages from superseded waves (see switch_agent.hpp);
+//  * a wave is PREPARING while acks are outstanding and COMMITS when the
+//    last ack lands; the coordinator's distribution also removes entries
+//    the previous committed plan installed but the new plan dropped, so
+//    commit leaves no entry outside the committed plan;
+//  * if a mod's retries exhaust, its flow is *rolled back*: sibling
+//    installs are cancelled, already-installed entries are removed, and
+//    the flow falls back to legacy routing — degradation means "legacy",
+//    never "half programmed";
+//  * if the coordinator dies mid-wave, the surviving lowest-id controller
+//    detects it, ABORTS the preparing wave (epoch bump kills its timers
+//    and messages), recomputes the plan against the updated failure set —
+//    seeded from the shared store's last distributed plan — and re-runs
+//    the wave as the new coordinator.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +47,7 @@
 #include <optional>
 #include <set>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/recovery_plan.hpp"
@@ -58,6 +77,36 @@ struct ControllerConfig {
   /// further retry multiplies the timeout by `retransmit_backoff`.
   double retransmit_margin_ms = 60.0;
   double retransmit_backoff = 2.0;
+  /// Transactional recovery: enforce epoch guards and roll partially
+  /// installed flows back to legacy routing on retry exhaustion /
+  /// mid-wave crashes. false reproduces the pre-transactional protocol
+  /// bit-for-bit (epochs are stamped but never acted on).
+  bool transactional = true;
+};
+
+/// Lifecycle of one recovery wave through the shared store.
+enum class WavePhase {
+  kIdle,       ///< no wave has run yet
+  kPreparing,  ///< plan distributed, acks outstanding
+  kCommitted,  ///< last ack landed; plan is the data plane's truth
+  kAborted,    ///< superseded mid-prepare (new failure / coordinator death)
+};
+
+/// Outstanding work one adopting controller owes the current wave. The
+/// wave "prepares" per adopter; a slice whose sets drain is prepared, and
+/// the wave commits when every slice is.
+struct AdopterSlice {
+  std::set<sdwan::SwitchId> pending_roles;
+  std::set<std::uint64_t> pending_acks;
+  bool prepared = false;
+};
+
+/// What one outstanding (or completed) FlowMod was for.
+struct ModRecord {
+  sdwan::FlowId flow = -1;
+  sdwan::SwitchId sw = -1;
+  sdwan::ControllerId adopter = -1;
+  bool remove = false;
 };
 
 /// The controllers' logically centralized data store (the paper's control
@@ -75,17 +124,59 @@ struct SharedRecoveryState {
   /// When the current wave's distribution began (simulated clock); feeds
   /// the wave-convergence histogram and the trace's wave span.
   double wave_started_at = -1.0;
-  /// Bumped per recovery wave; stale retransmission timers from an
-  /// earlier wave observe the mismatch and die.
+  /// Bumped per recovery wave and stamped into every protocol message;
+  /// stale retransmission timers and in-flight messages from an earlier
+  /// wave observe the mismatch and die.
   std::uint64_t wave_epoch = 0;
-  /// Which flow each outstanding xid programs (for degradation reports).
-  std::map<std::uint64_t, sdwan::FlowId> xid_flow;
+  /// What each xid's FlowMod was for (cumulative across waves, so a
+  /// stale ack can still be attributed for compensation).
+  std::map<std::uint64_t, ModRecord> xid_mods;
   /// Flows whose FlowMod retries exhausted: forwarded legacy-only until
   /// a later wave re-programs them (an ack removes the flow again).
   std::set<sdwan::FlowId> degraded_flows;
   /// Switches whose RoleRequest retries exhausted: left orphaned on
   /// their legacy tables until a later wave re-adopts them.
   std::set<sdwan::SwitchId> degraded_switches;
+
+  // --- Transaction state (prepare -> commit -> rollback) ----------------
+  WavePhase phase = WavePhase::kIdle;
+  /// Controller coordinating the current/last wave.
+  sdwan::ControllerId coordinator = -1;
+  /// Per-adopter outstanding work of the current wave.
+  std::map<sdwan::ControllerId, AdopterSlice> slices;
+  /// Acked installs the control plane believes are in the data plane:
+  /// (switch, flow) -> installing epoch. Removal acks erase; this is the
+  /// rollback worklist when a plan drops assignments or a flow degrades.
+  std::map<std::pair<sdwan::SwitchId, sdwan::FlowId>, std::uint64_t>
+      installed;
+  /// The master each switch was given in the current wave (plan mapping
+  /// plus cleanup adoptions); removals are sent from this endpoint.
+  std::map<sdwan::SwitchId, sdwan::ControllerId> wave_masters;
+  /// Flows rolled back in the current wave: their pending installs were
+  /// cancelled and their entries removed; a late install-ack triggers a
+  /// compensating removal instead of un-degrading the flow.
+  std::set<sdwan::FlowId> rolled_back_flows;
+  /// (switch, flow) keys a removal was already sent for in the current
+  /// wave — plan-diff cleanup, handover resync and flow rollback can
+  /// each target the same entry; one removal suffices.
+  std::set<std::pair<sdwan::SwitchId, sdwan::FlowId>> pending_removals;
+  /// Plan of the wave being prepared (the coordinator-failover seed) and
+  /// the last plan whose wave fully committed.
+  std::optional<core::RecoveryPlan> last_plan;
+  std::optional<core::RecoveryPlan> committed_plan;
+  std::uint64_t committed_epoch = 0;
+
+  // --- Transaction counters (published as metrics) ----------------------
+  /// Acks/replies discarded at controllers for an epoch mismatch.
+  std::uint64_t stale_discarded = 0;
+  /// Compensating removal FlowMods sent (plan-diff + flow rollback).
+  std::uint64_t rollback_removals = 0;
+  /// Waves superseded while still preparing.
+  std::uint64_t waves_aborted = 0;
+  /// Times a new coordinator took over a dead one's preparing wave.
+  std::uint64_t coordinator_failovers = 0;
+  /// Rollback removals whose own retries exhausted (entry may linger).
+  std::uint64_t rollback_failures = 0;
 };
 
 class ControllerNode {
@@ -152,6 +243,21 @@ class ControllerNode {
   void beat();
   void check_peers();
   void run_recovery();
+  /// Roll one flow back to legacy routing: cancel its pending installs,
+  /// remove its acked entries, and remember it so late acks compensate.
+  void roll_back_flow(sdwan::FlowId flow);
+  /// Send (and track) a removal FlowMod for one installed entry, adopting
+  /// the switch under this node first if no wave master holds it.
+  /// De-duplicated per wave via SharedRecoveryState::pending_removals.
+  void send_rollback_remove(sdwan::SwitchId sw, sdwan::FlowId flow);
+  /// Flow whose (src, dst) equals the match, or -1. Backs the handover
+  /// resync (a reported entry only names its match). Lazily built.
+  sdwan::FlowId flow_by_match(sdwan::SwitchId src, sdwan::SwitchId dst);
+  /// Drop completed work from its adopter slice; a drained slice is
+  /// marked prepared (traced).
+  void slice_role_done(sdwan::SwitchId sw);
+  void slice_ack_done(std::uint64_t xid);
+  void maybe_mark_slice_prepared(sdwan::ControllerId adopter);
   void arm_mod_retry(std::uint64_t xid, Message msg, double extra);
   void arm_role_retry(sdwan::SwitchId sw, Message msg);
   void on_mod_timer(std::uint64_t xid);
@@ -185,6 +291,8 @@ class ControllerNode {
   std::map<sdwan::SwitchId, Retry> role_retries_;
 
   std::optional<core::RecoveryPlan> installed_plan_;
+  std::map<std::pair<sdwan::SwitchId, sdwan::SwitchId>, sdwan::FlowId>
+      match_to_flow_;
   std::uint64_t recoveries_run_ = 0;
 };
 

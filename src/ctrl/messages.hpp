@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "sdwan/hybrid_switch.hpp"
 #include "sdwan/types.hpp"
@@ -25,28 +26,57 @@ struct Heartbeat {
 };
 
 /// Controller -> switch: become (or stop being) my subordinate.
+///
+/// `epoch` is the recovery wave's transaction epoch (monotonically
+/// increasing across waves). A switch remembers the highest epoch it has
+/// accepted and discards requests below it, so a deposed master's stale
+/// retransmissions cannot reclaim the switch after a newer wave.
 struct RoleRequest {
   sdwan::ControllerId controller = -1;
+  std::uint64_t epoch = 0;
 };
 
-/// Switch -> controller: role accepted.
+/// One installed flow entry as reported by a switch: the match plus the
+/// epoch of the wave that installed it.
+struct ReportedEntry {
+  sdwan::SwitchId src = -1;
+  sdwan::SwitchId dst = -1;
+  std::uint64_t epoch = 0;
+};
+
+/// Switch -> controller: role accepted. Echoes the request's epoch so
+/// controllers can ignore replies that belong to a superseded wave.
+///
+/// `entries` is the handover resync (OpenFlow reads flow stats on a
+/// master change for the same reason): the switch reports what it has
+/// installed, so a new master learns about entries whose installing
+/// controller died before the ack came back — the only way such state
+/// ever becomes visible to the surviving control plane.
 struct RoleReply {
   sdwan::SwitchId sw = -1;
   sdwan::ControllerId accepted = -1;
+  std::uint64_t epoch = 0;
+  std::vector<ReportedEntry> entries;
 };
 
-/// Controller -> switch: install or remove one flow entry.
+/// Controller -> switch: install or remove one flow entry. Carries the
+/// wave epoch; the switch discards mods older than its epoch high-water
+/// mark (a deposed master programming against a superseded plan).
 struct FlowMod {
   sdwan::FlowEntry entry;
   bool remove = false;
   /// Correlates the ack; also used to count convergence.
   std::uint64_t xid = 0;
+  std::uint64_t epoch = 0;
 };
 
-/// Switch -> controller: flow-mod applied (barrier semantics).
+/// Switch -> controller: flow-mod applied (barrier semantics). Echoes
+/// the mod's epoch; an ack from a superseded wave must not complete (or
+/// un-degrade) work in the current one.
 struct FlowModAck {
   sdwan::SwitchId sw = -1;
   std::uint64_t xid = 0;
+  std::uint64_t epoch = 0;
 };
 
 using MessageBody =

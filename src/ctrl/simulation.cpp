@@ -8,6 +8,7 @@ ControlSimulation::ControlSimulation(const sdwan::Network& net,
                                      RecoveryPolicy policy,
                                      ControllerConfig config)
     : net_(&net),
+      config_(config),
       channel_(net, queue_),
       dataplane_(net.topology(), sdwan::RoutingMode::kHybrid) {
   channel_.set_observability(&obs_);
@@ -19,8 +20,8 @@ ControlSimulation::ControlSimulation(const sdwan::Network& net,
                                "controller " + net.controller(j).name);
   }
   for (int s = 0; s < net.switch_count(); ++s) {
-    switches_.push_back(
-        std::make_unique<SwitchAgent>(s, dataplane_.at(s), channel_));
+    switches_.push_back(std::make_unique<SwitchAgent>(
+        s, dataplane_.at(s), channel_, config.transactional));
     switches_.back()->attach();
   }
   for (sdwan::ControllerId j = 0; j < net.controller_count(); ++j) {
@@ -44,15 +45,29 @@ void ControlSimulation::fail_controller_at(sdwan::ControllerId j,
     // topology itself is unchanged by a controller crash, but any
     // failure event that reweights/cuts links flows through this hook).
     channel_.invalidate_delays();
+    // Orphan every switch the controller currently masters: its original
+    // domain plus any mid-wave adoptions (a successor wave's auditor
+    // would otherwise find switches mastered by a dead controller). The
+    // legacy protocol orphaned only the home domain; reproduce that
+    // bit-for-bit when transactional enforcement is off.
+    std::vector<sdwan::SwitchId> orphaned;
+    if (config_.transactional) {
+      for (auto& agent : switches_) {
+        if (agent->master() == j) orphaned.push_back(agent->id());
+      }
+    } else {
+      orphaned.assign(net_->controller(j).domain.begin(),
+                      net_->controller(j).domain.end());
+    }
     if (obs_.tracer.enabled()) {
       obs_.tracer.instant(
           queue_.now(), "sim", "controller.fail", tracks::controller(j),
           {{"controller", static_cast<int>(j)},
            {"orphaned_switches",
-            static_cast<std::int64_t>(net_->controller(j).domain.size())}});
+            static_cast<std::int64_t>(orphaned.size())}});
     }
     controllers_[static_cast<std::size_t>(j)]->fail();
-    for (sdwan::SwitchId s : net_->controller(j).domain) {
+    for (const sdwan::SwitchId s : orphaned) {
       switches_[static_cast<std::size_t>(s)]->orphan();
     }
   });
@@ -112,6 +127,7 @@ void ControlSimulation::publish_metrics() {
   std::uint64_t recovery_waves = 0;
   std::uint64_t duplicates_suppressed = 0;
   std::uint64_t spurious_detections = 0;
+  std::uint64_t stale_discarded = shared_.stale_discarded;
   for (const auto& c : controllers_) {
     duplicates_suppressed += c->duplicates_suppressed();
     if (!c->alive()) continue;
@@ -124,6 +140,7 @@ void ControlSimulation::publish_metrics() {
   }
   for (const auto& a : switches_) {
     duplicates_suppressed += a->duplicates_suppressed();
+    stale_discarded += a->stale_discarded();
   }
   set_counter("pm_recovery_waves_total",
               "Recovery waves run by coordinators", recovery_waves);
@@ -133,6 +150,21 @@ void ControlSimulation::publish_metrics() {
   set_counter("pm_spurious_detections_total",
               "Peers suspected and later proven alive",
               spurious_detections);
+  set_counter("pm_stale_discarded_total",
+              "Stale-epoch messages discarded (switches + controllers)",
+              stale_discarded);
+  set_counter("pm_rollback_removals_total",
+              "Compensating removal FlowMods sent by rollback",
+              shared_.rollback_removals);
+  set_counter("pm_rollback_failures_total",
+              "Rollback removals whose own retries exhausted",
+              shared_.rollback_failures);
+  set_counter("pm_waves_aborted_total",
+              "Recovery waves superseded while still preparing",
+              shared_.waves_aborted);
+  set_counter("pm_coordinator_failovers_total",
+              "Successor coordinators taking over a dead one's wave",
+              shared_.coordinator_failovers);
 
   // Data-plane audit.
   bool all_flows_deliverable = false;
@@ -189,13 +221,53 @@ void ControlSimulation::publish_metrics() {
   set_gauge("pm_all_flows_deliverable",
             "Data-plane audit: 1 if every flow is still deliverable",
             all_flows_deliverable ? 1.0 : 0.0);
+
+  // Consistency audit against the committed plan/epoch. Only meaningful
+  // (and only paid for — it rebuilds a FailureState) when the
+  // transaction layer maintains a committed plan; legacy runs publish a
+  // vacuously clean audit.
+  double audit_violations = 0.0;
+  double audit_clean = 1.0;
+  if (config_.transactional) {
+    const AuditReport audit_report = audit();
+    audit_violations = static_cast<double>(audit_report.violations.size());
+    audit_clean = audit_report.clean() ? 1.0 : 0.0;
+    for (const auto& [invariant, count] : audit_report.by_invariant()) {
+      m.gauge("pm_audit_violations_by_invariant",
+              "Consistency-audit violations per invariant family",
+              {{"invariant", invariant}})
+          .set(static_cast<double>(count));
+    }
+  }
+  set_gauge("pm_audit_violations",
+            "Post-run consistency-audit violations (0 = clean)",
+            audit_violations);
+  set_gauge("pm_audit_clean",
+            "1 if the post-run consistency audit found no violations",
+            audit_clean);
+}
+
+AuditReport ControlSimulation::audit() const {
+  std::vector<const SwitchAgent*> agents;
+  agents.reserve(switches_.size());
+  for (const auto& a : switches_) agents.push_back(a.get());
+  std::vector<bool> alive;
+  alive.reserve(controllers_.size());
+  for (const auto& c : controllers_) alive.push_back(c->alive());
+  return audit_recovery(*net_, dataplane_, agents, alive, shared_);
 }
 
 SimulationReport ControlSimulation::report_from_metrics() const {
   const obs::MetricsRegistry& m = obs_.metrics;
   SimulationReport report;
-  report.detected_at = m.gauge_value("pm_detected_at_ms");
-  report.converged_at = m.gauge_value("pm_converged_at_ms");
+  // The gauges keep the Prometheus-friendly -1 sentinel; the report
+  // exposes the same facts as optionals.
+  if (const double d = m.gauge_value("pm_detected_at_ms"); d >= 0.0) {
+    report.detected_at = d;
+  }
+  if (const double c = m.gauge_value("pm_converged_at_ms"); c >= 0.0) {
+    report.converged_at = c;
+  }
   report.messages_sent = m.counter_value("pm_messages_sent_total");
   report.messages_by_kind = m.counters_by_label("pm_messages_total", "kind");
   report.recovery_waves = m.counter_value("pm_recovery_waves_total");
@@ -220,6 +292,15 @@ SimulationReport ControlSimulation::report_from_metrics() const {
   report.reordered_messages =
       m.counter_value("pm_reordered_messages_total");
   report.partition_drops = m.counter_value("pm_partition_drops_total");
+  report.stale_discarded = m.counter_value("pm_stale_discarded_total");
+  report.rollback_removals =
+      m.counter_value("pm_rollback_removals_total");
+  report.waves_aborted = m.counter_value("pm_waves_aborted_total");
+  report.coordinator_failovers =
+      m.counter_value("pm_coordinator_failovers_total");
+  report.audit_violations =
+      static_cast<std::size_t>(m.gauge_value("pm_audit_violations"));
+  report.audit_clean = m.gauge_value("pm_audit_clean") != 0.0;
   return report;
 }
 

@@ -10,9 +10,11 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "ctrl/audit.hpp"
 #include "ctrl/controller.hpp"
 #include "ctrl/fault_model.hpp"
 #include "ctrl/switch_agent.hpp"
@@ -22,10 +24,12 @@
 namespace pm::ctrl {
 
 struct SimulationReport {
-  /// First failure-detector firing across surviving controllers.
-  double detected_at = -1.0;
-  /// Last recovery wave fully acked.
-  double converged_at = -1.0;
+  /// First failure-detector firing across surviving controllers;
+  /// nullopt when the detector never fired.
+  std::optional<double> detected_at;
+  /// Last recovery wave fully acked (committed); nullopt while not
+  /// converged.
+  std::optional<double> converged_at;
   std::uint64_t messages_sent = 0;
   std::map<std::string, std::uint64_t> messages_by_kind;
   /// Recovery waves run by coordinators (>= number of failure events).
@@ -54,6 +58,19 @@ struct SimulationReport {
   std::uint64_t injected_duplicates = 0;
   std::uint64_t reordered_messages = 0;
   std::uint64_t partition_drops = 0;
+
+  // --- Transactional recovery -------------------------------------------
+  /// Stale-epoch messages discarded (switch agents + controllers).
+  std::uint64_t stale_discarded = 0;
+  /// Compensating removal FlowMods sent by rollback.
+  std::uint64_t rollback_removals = 0;
+  /// Waves superseded while still preparing.
+  std::uint64_t waves_aborted = 0;
+  /// Times a successor coordinator took over a dead one's wave.
+  std::uint64_t coordinator_failovers = 0;
+  /// Post-run consistency-audit violations (0 = clean).
+  std::size_t audit_violations = 0;
+  bool audit_clean = true;
 };
 
 class ControlSimulation {
@@ -61,9 +78,9 @@ class ControlSimulation {
   ControlSimulation(const sdwan::Network& net, RecoveryPolicy policy,
                     ControllerConfig config = {});
 
-  /// Schedules controller `j` to crash at time `at_ms`. Its domain's
-  /// switch agents are orphaned at the same instant (their OpenFlow
-  /// sessions drop).
+  /// Schedules controller `j` to crash at time `at_ms`. Every switch it
+  /// currently masters — original domain plus mid-wave adoptions — is
+  /// orphaned at the same instant (their OpenFlow sessions drop).
   void fail_controller_at(sdwan::ControllerId j, double at_ms);
 
   /// Arms the channel fault model. Call before run(); an inert model
@@ -98,6 +115,15 @@ class ControlSimulation {
   }
   sim::EventQueue& queue() { return queue_; }
 
+  /// The shared recovery store (transaction phase, committed plan/epoch,
+  /// degradation records) — read-only, for tests and audits.
+  const SharedRecoveryState& shared_state() const { return shared_; }
+
+  /// Post-run consistency audit (recomputed on call): checks the data
+  /// plane + agents against the committed plan and epoch. run() also
+  /// performs it and publishes the result as metrics.
+  AuditReport audit() const;
+
  private:
   /// Publishes channel/controller/queue counters and the data-plane
   /// audit into the metrics registry (counters monotonic, gauges
@@ -107,6 +133,7 @@ class ControlSimulation {
   SimulationReport report_from_metrics() const;
 
   const sdwan::Network* net_;
+  ControllerConfig config_;
   obs::Context obs_;
   sim::EventQueue queue_;
   ControlChannel channel_;

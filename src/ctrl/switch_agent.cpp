@@ -10,8 +10,9 @@ EndpointId controller_endpoint(const sdwan::Network& net,
 }
 
 SwitchAgent::SwitchAgent(sdwan::SwitchId id, sdwan::HybridSwitch& sw,
-                         ControlChannel& channel)
-    : id_(id), switch_(&sw), channel_(&channel) {}
+                         ControlChannel& channel, bool epoch_guard)
+    : id_(id), switch_(&sw), channel_(&channel),
+      epoch_guard_(epoch_guard) {}
 
 void SwitchAgent::attach() {
   channel_->attach(switch_endpoint(id_), id_,
@@ -20,10 +21,18 @@ void SwitchAgent::attach() {
 
 void SwitchAgent::on_message(const Message& m) {
   if (const auto* role = std::get_if<RoleRequest>(&m.body)) {
+    // Epoch guard: a request below the high-water mark is a deposed
+    // master's retransmission from a superseded wave. Discard without
+    // replying — the new wave's master already holds the switch.
+    if (epoch_guard_ && role->epoch < epoch_) {
+      ++stale_discarded_;
+      return;
+    }
     if (seen(m.seq)) {
       ++duplicates_suppressed_;
     } else {
       seen_seqs_.insert(m.seq);
+      if (role->epoch > epoch_) epoch_ = role->epoch;
       // Mode flip: the switch changes master (orphaned -> adopted, or a
       // re-adoption by a later wave).
       if (obs::Context* obs = channel_->observability();
@@ -33,17 +42,28 @@ void SwitchAgent::on_message(const Message& m) {
             tracks::kSwitches,
             {{"switch", static_cast<int>(id_)},
              {"old_master", static_cast<int>(master_)},
-             {"new_master", static_cast<int>(role->controller)}});
+             {"new_master", static_cast<int>(role->controller)},
+             {"epoch", static_cast<std::int64_t>(role->epoch)}});
       }
       master_ = role->controller;
       master_endpoint_ = m.from;
     }
     // Always (re)reply: a duplicate request usually means our first
-    // reply was lost on the way back.
+    // reply was lost on the way back. Under the epoch guard the reply
+    // carries the handover resync — every installed entry with its
+    // epoch tag — so the new master can reconcile state left by a
+    // crashed predecessor.
     Message reply;
     reply.from = switch_endpoint(id_);
     reply.to = m.from;
-    reply.body = RoleReply{id_, role->controller};
+    RoleReply body{id_, role->controller, role->epoch, {}};
+    if (epoch_guard_) {
+      body.entries.reserve(entry_epochs_.size());
+      for (const auto& [match, entry_epoch] : entry_epochs_) {
+        body.entries.push_back({match.first, match.second, entry_epoch});
+      }
+    }
+    reply.body = std::move(body);
     channel_->send(reply);
     return;
   }
@@ -53,6 +73,14 @@ void SwitchAgent::on_message(const Message& m) {
     // deliberately NOT marked seen: a retransmission arriving after the
     // role handover completes must still be applied).
     if (m.from != master_endpoint_) return;
+    // Epoch guard: the master endpoint can match across waves (plans are
+    // seeded incrementally, so a re-adoption often keeps the adopter);
+    // the epoch tells a superseded wave's mod apart. No ack — letting the
+    // stale wave's machinery believe it succeeded would be worse.
+    if (epoch_guard_ && mod->epoch < epoch_) {
+      ++stale_discarded_;
+      return;
+    }
     if (seen(m.seq)) {
       // Already applied — the ack got lost. Re-ack without re-applying
       // (a second install would duplicate the flow-table entry).
@@ -60,12 +88,29 @@ void SwitchAgent::on_message(const Message& m) {
       Message ack;
       ack.from = switch_endpoint(id_);
       ack.to = m.from;
-      ack.body = FlowModAck{id_, mod->xid};
+      ack.body = FlowModAck{id_, mod->xid, mod->epoch};
       channel_->send(ack);
       return;
     }
     seen_seqs_.insert(m.seq);
-    if (mod->remove) {
+    if (mod->epoch > epoch_) epoch_ = mod->epoch;
+    if (epoch_guard_) {
+      const auto key =
+          std::make_pair(mod->entry.match.src, mod->entry.match.dst);
+      if (mod->remove) {
+        switch_->remove(mod->entry.match);
+        entry_epochs_.erase(key);
+      } else {
+        // Replace-on-install: a later wave re-programming the same match
+        // supersedes the old entry instead of stacking a duplicate, and
+        // the entry's epoch tag moves forward with it.
+        if (entry_epochs_.contains(key)) {
+          switch_->remove(mod->entry.match);
+        }
+        switch_->install(mod->entry);
+        entry_epochs_[key] = mod->epoch;
+      }
+    } else if (mod->remove) {
       switch_->remove(mod->entry.match);
     } else {
       switch_->install(mod->entry);
@@ -83,7 +128,7 @@ void SwitchAgent::on_message(const Message& m) {
     Message ack;
     ack.from = switch_endpoint(id_);
     ack.to = m.from;
-    ack.body = FlowModAck{id_, mod->xid};
+    ack.body = FlowModAck{id_, mod->xid, mod->epoch};
     channel_->send(ack);
     return;
   }

@@ -9,9 +9,21 @@
 // duplicate (channel-injected copy or controller retransmission) is
 // suppressed instead of re-applied — but still re-acknowledged, because
 // the duplicate usually means the first ack was lost.
+//
+// Transactional recovery: the agent keeps an epoch high-water mark over
+// the RoleRequests/FlowMods it has accepted. A message whose epoch is
+// below the mark comes from a deposed master's superseded wave and is
+// discarded (counted, no ack) — so a coordinator that crashed mid-wave
+// cannot keep programming switches after its successor re-ran the wave.
+// Each installed entry remembers the epoch that installed it (the
+// consistency auditor checks no flow mixes epochs), and a re-install of
+// the same match replaces the old entry instead of stacking a duplicate.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <unordered_set>
+#include <utility>
 
 #include "ctrl/channel.hpp"
 #include "ctrl/messages.hpp"
@@ -22,8 +34,10 @@ namespace pm::ctrl {
 class SwitchAgent {
  public:
   /// `sw` must outlive the agent (it lives in the shared Dataplane).
+  /// `epoch_guard` = false reproduces the pre-transactional protocol
+  /// (epochs carried but never enforced); used for A/B comparisons.
   SwitchAgent(sdwan::SwitchId id, sdwan::HybridSwitch& sw,
-              ControlChannel& channel);
+              ControlChannel& channel, bool epoch_guard = true);
 
   sdwan::SwitchId id() const { return id_; }
 
@@ -51,6 +65,22 @@ class SwitchAgent {
     return duplicates_suppressed_;
   }
 
+  /// Highest recovery epoch this switch has accepted a message from.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// RoleRequests/FlowMods discarded because their epoch was below the
+  /// high-water mark (a deposed master's superseded wave).
+  std::uint64_t stale_discarded() const { return stale_discarded_; }
+
+  /// The epoch that installed each currently present flow-table entry,
+  /// keyed by the entry's (src, dst) match. The consistency auditor
+  /// reads this to detect mixed-epoch flow state.
+  const std::map<std::pair<sdwan::SwitchId, sdwan::SwitchId>,
+                 std::uint64_t>&
+  entry_epochs() const {
+    return entry_epochs_;
+  }
+
   /// Wire this agent's handler into the channel.
   void attach();
 
@@ -63,11 +93,16 @@ class SwitchAgent {
   sdwan::SwitchId id_;
   sdwan::HybridSwitch* switch_;
   ControlChannel* channel_;
+  bool epoch_guard_;
   sdwan::ControllerId master_ = -1;
   EndpointId master_endpoint_ = -1;
+  std::uint64_t epoch_ = 0;
   std::uint64_t flow_mods_applied_ = 0;
   std::uint64_t duplicates_suppressed_ = 0;
+  std::uint64_t stale_discarded_ = 0;
   std::unordered_set<std::uint64_t> seen_seqs_;
+  std::map<std::pair<sdwan::SwitchId, sdwan::SwitchId>, std::uint64_t>
+      entry_epochs_;
 };
 
 /// Endpoint id helpers shared by agents and the harness.

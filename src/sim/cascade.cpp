@@ -31,6 +31,7 @@ CascadeResult simulate_cascade(const sdwan::Network& net,
     round.offline_switches = state.offline_switches().size();
 
     const core::RecoveryPlan plan = policy(state);
+    result.round_plans.push_back(plan);
     const auto adopted = core::controller_loads(state, plan);
     for (sdwan::ControllerId j : state.active_controllers()) {
       const double capacity = net.controller(j).capacity;

@@ -37,6 +37,11 @@ struct CascadeResult {
   bool collapsed = false;
   /// The last round's plan (empty when collapsed).
   core::RecoveryPlan final_plan;
+  /// The plan computed in each round that ran the policy, in round
+  /// order. A collapse round computes no plan, so on collapse this holds
+  /// one entry fewer than `rounds`; otherwise the sizes match and the
+  /// last element equals `final_plan`.
+  std::vector<core::RecoveryPlan> round_plans;
 
   std::size_t initial_failures() const {
     return rounds.empty() ? 0 : rounds.front().newly_failed.size();

@@ -14,11 +14,11 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
     tok = tok.substr(2);
     const std::size_t eq = tok.find('=');
     if (eq != std::string::npos) {
-      flags_[tok.substr(0, eq)] = tok.substr(eq + 1);
+      flags_[tok.substr(0, eq)].push_back(tok.substr(eq + 1));
     } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
-      flags_[tok] = argv[++i];
+      flags_[tok].push_back(argv[++i]);
     } else {
-      flags_[tok] = "true";
+      flags_[tok].push_back("true");
     }
   }
 }
@@ -32,7 +32,14 @@ std::string CliArgs::get_string(const std::string& name,
                                 const std::string& fallback) const {
   queried_[name] = true;
   const auto it = flags_.find(name);
-  return it == flags_.end() ? fallback : it->second;
+  return it == flags_.end() ? fallback : it->second.back();
+}
+
+std::vector<std::string> CliArgs::get_strings(
+    const std::string& name) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? std::vector<std::string>{} : it->second;
 }
 
 long long CliArgs::get_int(const std::string& name, long long fallback) const {
@@ -40,7 +47,7 @@ long long CliArgs::get_int(const std::string& name, long long fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   long long v = 0;
-  return parse_int(it->second, v) ? v : fallback;
+  return parse_int(it->second.back(), v) ? v : fallback;
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
@@ -48,14 +55,14 @@ double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   double v = 0;
-  return parse_double(it->second, v) ? v : fallback;
+  return parse_double(it->second.back(), v) ? v : fallback;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   queried_[name] = true;
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  const std::string v = to_lower(it->second);
+  const std::string v = to_lower(it->second.back());
   return v == "1" || v == "true" || v == "yes" || v == "on";
 }
 

@@ -23,6 +23,11 @@ class CliArgs {
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
 
+  /// Every value a repeatable flag was given, in command-line order
+  /// (e.g. --kill-at=900:0 --kill-at=950:1). Empty when absent. The
+  /// single-value getters above return the LAST occurrence.
+  std::vector<std::string> get_strings(const std::string& name) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
   /// Names seen on the command line that were never queried via get_*.
@@ -30,7 +35,7 @@ class CliArgs {
   std::vector<std::string> unused() const;
 
  private:
-  std::map<std::string, std::string> flags_;
+  std::map<std::string, std::vector<std::string>> flags_;
   mutable std::map<std::string, bool> queried_;
   std::vector<std::string> positional_;
 };

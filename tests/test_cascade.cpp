@@ -2,9 +2,13 @@
 
 #include <algorithm>
 
+#include <vector>
+
 #include "core/metrics.hpp"
 #include "core/naive.hpp"
+#include "core/pg.hpp"
 #include "core/pm_algorithm.hpp"
+#include "core/retroflow.hpp"
 #include "core/scenario.hpp"
 #include "sim/cascade.hpp"
 
@@ -202,6 +206,43 @@ TEST(IncrementalPm, SeedMappingsToFailedControllersDropped) {
   }
   EXPECT_TRUE(core::validate_plan(st2, plan2).empty());
   (void)used_c13;
+}
+
+TEST(Cascade, RoundPlansRecordNaiveCollapseWhileSmartPoliciesHold) {
+  // The paper's hub failure set: controllers at nodes 13 and 20 (ids 3
+  // and 4). Capacity-blind nearest-controller adoption overloads its
+  // adopters round after round until every controller is down; the
+  // capacity-aware policies absorb the exact same failure set in one
+  // round. round_plans exposes the per-round planning record that makes
+  // the difference inspectable.
+  const std::vector<sdwan::ControllerId> initial = {3, 4};
+  const sim::RecoveryPolicy naive = [](const sdwan::FailureState& st) {
+    return core::run_naive_nearest(st);
+  };
+  const auto nr = sim::simulate_cascade(att(), initial, naive);
+  EXPECT_GT(nr.induced_failures(), 0u);
+  EXPECT_TRUE(nr.collapsed);
+  // One plan per planning round; the terminal collapse round plans
+  // nothing, so on collapse there is exactly one fewer plan than rounds.
+  ASSERT_EQ(nr.round_plans.size(), nr.rounds.size() - 1);
+
+  const std::vector<sim::RecoveryPolicy> smart = {
+      [](const sdwan::FailureState& st) { return core::run_pm(st); },
+      [](const sdwan::FailureState& st) {
+        return core::run_retroflow(st);
+      },
+      [](const sdwan::FailureState& st) { return core::run_pg(st); },
+  };
+  for (const auto& policy : smart) {
+    const auto r = sim::simulate_cascade(att(), initial, policy);
+    EXPECT_EQ(r.induced_failures(), 0u);
+    EXPECT_FALSE(r.collapsed);
+    ASSERT_EQ(r.round_plans.size(), r.rounds.size());
+    // The recorded last round IS the final plan.
+    EXPECT_EQ(r.final_plan.mapping, r.round_plans.back().mapping);
+    EXPECT_EQ(r.final_plan.sdn_assignments,
+              r.round_plans.back().sdn_assignments);
+  }
 }
 
 TEST(IncrementalPm, EmptySeedEqualsScratch) {

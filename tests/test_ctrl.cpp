@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "core/pm_algorithm.hpp"
@@ -310,7 +312,7 @@ TEST(Channel, DelayCacheInvalidationForcesRecompute) {
 TEST(ControlSimulation, SteadyStateHasOnlyHeartbeats) {
   ControlSimulation simulation(att(), pm_policy());
   const SimulationReport report = simulation.run(2000.0);
-  EXPECT_LT(report.detected_at, 0.0);  // nothing failed
+  EXPECT_FALSE(report.detected_at.has_value());  // nothing failed
   EXPECT_EQ(report.recovery_waves, 0u);
   EXPECT_EQ(report.adopted_switches, 0u);
   EXPECT_TRUE(report.all_flows_deliverable);
@@ -324,12 +326,14 @@ TEST(ControlSimulation, SingleFailureDetectedAndRecovered) {
   const SimulationReport report = simulation.run(5000.0);
 
   // Detection within ~2 timeouts of the crash.
-  EXPECT_GT(report.detected_at, 500.0);
-  EXPECT_LT(report.detected_at, 500.0 + 2.5 * 200.0);
+  ASSERT_TRUE(report.detected_at.has_value());
+  EXPECT_GT(*report.detected_at, 500.0);
+  EXPECT_LT(*report.detected_at, 500.0 + 2.5 * 200.0);
   // Exactly one recovery wave, fully converged shortly after detection.
   EXPECT_EQ(report.recovery_waves, 1u);
-  EXPECT_GT(report.converged_at, report.detected_at);
-  EXPECT_LT(report.converged_at, report.detected_at + 100.0);
+  ASSERT_TRUE(report.converged_at.has_value());
+  EXPECT_GT(*report.converged_at, *report.detected_at);
+  EXPECT_LT(*report.converged_at, *report.detected_at + 100.0);
   // The offline domain's switches were adopted and programmed.
   EXPECT_GT(report.adopted_switches, 0u);
   EXPECT_GT(report.flows_with_entries, 0u);
@@ -361,7 +365,8 @@ TEST(ControlSimulation, SuccessiveFailuresRunIncrementally) {
   const SimulationReport report = simulation.run(8000.0);
 
   EXPECT_GE(report.recovery_waves, 2u);
-  EXPECT_GT(report.converged_at, 3000.0);
+  ASSERT_TRUE(report.converged_at.has_value());
+  EXPECT_GT(*report.converged_at, 3000.0);
   EXPECT_TRUE(report.all_flows_deliverable);
   // After both failures the coordinator's cumulative plan covers the
   // union of both domains.
@@ -467,8 +472,10 @@ TEST(ControlSimulation, ChaosTwoFailuresStillConverge) {
   simulation.fail_controller_at(4, 3000.0);
   const SimulationReport report = simulation.run(20000.0);
 
-  EXPECT_GT(report.detected_at, 500.0);
-  EXPECT_GT(report.converged_at, 3000.0);
+  ASSERT_TRUE(report.detected_at.has_value());
+  EXPECT_GT(*report.detected_at, 500.0);
+  ASSERT_TRUE(report.converged_at.has_value());
+  EXPECT_GT(*report.converged_at, 3000.0);
   EXPECT_GE(report.recovery_waves, 2u);
   EXPECT_TRUE(report.all_flows_deliverable);
   EXPECT_EQ(report.degraded_flows, 0u);
@@ -550,7 +557,7 @@ TEST(ControlSimulation, HysteresisRidesOutShortPartitions) {
   const SimulationReport report = simulation.run(5000.0);
   EXPECT_EQ(report.spurious_detections, 0u);
   EXPECT_EQ(report.recovery_waves, 0u);
-  EXPECT_LT(report.detected_at, 0.0);
+  EXPECT_FALSE(report.detected_at.has_value());
 }
 
 TEST(ControlSimulation, ExhaustedRetriesDegradeInsteadOfWedging) {
@@ -573,10 +580,327 @@ TEST(ControlSimulation, ExhaustedRetriesDegradeInsteadOfWedging) {
   EXPECT_GT(report.retransmissions, 0u);
   // The wave converged (modulo the explicitly-degraded messages) rather
   // than hanging forever on unreachable switches...
-  EXPECT_GT(report.converged_at, 0.0);
+  ASSERT_TRUE(report.converged_at.has_value());
+  EXPECT_GT(*report.converged_at, 0.0);
   // ...and the hybrid data plane still delivers everything over the
   // legacy tables.
   EXPECT_TRUE(report.all_flows_deliverable);
+}
+
+// ---------------------------------------------------------------------
+// Transactional recovery: epochs, mid-wave failures, rollback, audit
+// ---------------------------------------------------------------------
+
+TEST(TransactionalRecovery, CoordinatorKilledMidWaveFailsOverAndReplans) {
+  // Controller 3 fails at t=500; the coordinator that runs the wave is
+  // killed at t=850, inside the recovery window, under loss + jitter.
+  // The lowest surviving id must take over, replan against the updated
+  // failure set, and commit with a clean consistency audit.
+  ctrl::ControllerConfig config;
+  config.suspicion_checks = 3;
+  ControlSimulation simulation(att(), pm_policy(), config);
+  ChannelFaultModel faults;
+  faults.drop_probability = 0.05;
+  faults.jitter_ms = 20.0;
+  simulation.set_fault_model(faults);
+  simulation.fail_controller_at(3, 500.0);
+  simulation.fail_controller_at(0, 850.0);  // the coordinator
+  const SimulationReport report = simulation.run(15000.0);
+
+  ASSERT_TRUE(report.converged_at.has_value());
+  EXPECT_TRUE(report.all_flows_deliverable);
+  EXPECT_GE(report.coordinator_failovers, 1u);
+  EXPECT_TRUE(report.audit_clean) << report.audit_violations;
+  const SharedRecoveryState& shared = simulation.shared_state();
+  EXPECT_EQ(shared.phase, WavePhase::kCommitted);
+  ASSERT_TRUE(shared.committed_plan.has_value());
+  EXPECT_EQ(shared.committed_epoch, shared.wave_epoch);
+  // The successor, not the dead node, owns the committed wave.
+  EXPECT_NE(shared.coordinator, 0);
+  EXPECT_TRUE(simulation.controller(shared.coordinator).alive());
+}
+
+TEST(TransactionalRecovery, AdopterKilledMidWaveIsReplannedAround) {
+  // Kill a wave-1 ADOPTER (not the coordinator) mid-wave: its slice can
+  // never prepare, the detector fires, and the coordinator's next wave
+  // must re-home its switches and clean up any entries the dead
+  // adopter's assignments left behind.
+  sdwan::FailureScenario scenario;
+  scenario.failed = {3};
+  const sdwan::FailureState state(att(), scenario);
+  const core::RecoveryPlan wave1 = core::run_pm(state);
+  sdwan::ControllerId adopter = -1;
+  for (const auto& [sw, j] : wave1.mapping) {
+    if (j != 0) adopter = std::max(adopter, j);
+  }
+  ASSERT_GE(adopter, 0) << "wave-1 plan uses only the coordinator";
+
+  ctrl::ControllerConfig config;
+  config.suspicion_checks = 3;
+  ControlSimulation simulation(att(), pm_policy(), config);
+  ChannelFaultModel faults;
+  faults.drop_probability = 0.05;
+  faults.jitter_ms = 20.0;
+  simulation.set_fault_model(faults);
+  simulation.fail_controller_at(3, 500.0);
+  simulation.fail_controller_at(adopter, 850.0);
+  const SimulationReport report = simulation.run(15000.0);
+
+  ASSERT_TRUE(report.converged_at.has_value());
+  EXPECT_TRUE(report.all_flows_deliverable);
+  EXPECT_TRUE(report.audit_clean) << report.audit_violations;
+  const SharedRecoveryState& shared = simulation.shared_state();
+  EXPECT_EQ(shared.phase, WavePhase::kCommitted);
+  ASSERT_TRUE(shared.committed_plan.has_value());
+  // Nothing in the committed plan may reference the dead adopter.
+  for (const auto& [sw, j] : shared.committed_plan->mapping) {
+    EXPECT_NE(j, adopter);
+    EXPECT_NE(j, 3);
+  }
+}
+
+TEST(TransactionalRecovery, CorrelatedMidWaveKillsStillConverge) {
+  // Coordinator AND an adopter die at the same instant mid-wave — the
+  // correlated-failure case. A single surviving successor must absorb
+  // both and commit cleanly.
+  sdwan::FailureScenario scenario;
+  scenario.failed = {3};
+  const sdwan::FailureState state(att(), scenario);
+  const core::RecoveryPlan wave1 = core::run_pm(state);
+  sdwan::ControllerId adopter = -1;
+  for (const auto& [sw, j] : wave1.mapping) {
+    if (j != 0) adopter = std::max(adopter, j);
+  }
+  ASSERT_GE(adopter, 0);
+
+  ctrl::ControllerConfig config;
+  config.suspicion_checks = 3;
+  ControlSimulation simulation(att(), pm_policy(), config);
+  ChannelFaultModel faults;
+  faults.drop_probability = 0.05;
+  faults.jitter_ms = 20.0;
+  simulation.set_fault_model(faults);
+  simulation.fail_controller_at(3, 500.0);
+  simulation.fail_controller_at(0, 850.0);
+  simulation.fail_controller_at(adopter, 850.0);
+  const SimulationReport report = simulation.run(15000.0);
+
+  ASSERT_TRUE(report.converged_at.has_value());
+  EXPECT_TRUE(report.all_flows_deliverable);
+  EXPECT_GE(report.coordinator_failovers, 1u);
+  if (!report.audit_clean) {
+    for (const auto& v : simulation.audit().violations) {
+      ADD_FAILURE() << v.invariant << ": " << v.detail;
+    }
+  }
+  EXPECT_EQ(simulation.shared_state().phase, WavePhase::kCommitted);
+}
+
+TEST(TransactionalRecovery, RetryExhaustionRollsBackToLegacyNotMixed) {
+  // Permanently cut SOME of the failed controller's switches off the
+  // control plane: installs to them exhaust, and transactional rollback
+  // must take each affected flow back to legacy wholesale — removing
+  // the siblings that DID land — rather than leaving a half-programmed
+  // flow. The audit must come back clean (degraded is legal; mixed
+  // state is not).
+  ControlSimulation simulation(att(), pm_policy());
+  ChannelFaultModel faults;
+  const auto& domain = att().controller(3).domain;
+  ASSERT_GE(domain.size(), 2u);
+  std::vector<sdwan::SwitchId> cut(domain.begin(),
+                                   domain.begin() + 2);
+  for (const sdwan::SwitchId s : cut) {
+    faults.partitions.push_back(
+        {PartitionWindow::kAnyEndpoint, switch_endpoint(s), 0.0, 1e12});
+  }
+  simulation.set_fault_model(faults);
+  simulation.fail_controller_at(3, 500.0);
+  const SimulationReport report = simulation.run(20000.0);
+
+  ASSERT_TRUE(report.converged_at.has_value());
+  EXPECT_GE(report.degraded_flows, 1u);
+  EXPECT_TRUE(report.all_flows_deliverable);
+  EXPECT_TRUE(report.audit_clean) << report.audit_violations;
+  const SharedRecoveryState& shared = simulation.shared_state();
+  EXPECT_GE(shared.rolled_back_flows.size(), 1u);
+  // No entry for a rolled-back flow survives anywhere: the reachable
+  // siblings were removed, the unreachable ones never landed.
+  for (const sdwan::FlowId flow : shared.rolled_back_flows) {
+    const auto& f = att().flow(flow);
+    for (int s = 0; s < att().switch_count(); ++s) {
+      EXPECT_FALSE(simulation.switch_agent(s).entry_epochs().contains(
+          {f.src, f.dst}))
+          << "rolled-back flow " << flow << " still programmed on switch "
+          << s;
+    }
+  }
+}
+
+TEST(TransactionalRecovery, SwitchDiscardsStaleEpochMessages) {
+  // Unit-level: drive a SwitchAgent over a raw channel. Messages below
+  // the switch's epoch high-water mark are discarded (no reply, no ack,
+  // no application); replace-on-install keeps one entry per match.
+  sim::EventQueue queue;
+  ControlChannel channel(att(), queue);
+  sdwan::Dataplane dataplane(att().topology(), sdwan::RoutingMode::kHybrid);
+  SwitchAgent agent(0, dataplane.at(0), channel, /*epoch_guard=*/true);
+  agent.attach();
+  const EndpointId ctrl_ep = controller_endpoint(att(), 0);
+  std::size_t replies = 0;
+  std::size_t acks = 0;
+  channel.attach(ctrl_ep, att().controller(0).location,
+                 [&](const Message& m) {
+                   if (std::holds_alternative<RoleReply>(m.body)) ++replies;
+                   if (std::holds_alternative<FlowModAck>(m.body)) ++acks;
+                 });
+
+  const auto send_role = [&](std::uint64_t epoch) {
+    Message m;
+    m.from = ctrl_ep;
+    m.to = switch_endpoint(0);
+    m.body = RoleRequest{0, epoch};
+    m.seq = channel.send(m);
+  };
+  const auto send_mod = [&](std::uint64_t epoch, std::uint64_t xid,
+                            sdwan::SwitchId next_hop) {
+    Message m;
+    m.from = ctrl_ep;
+    m.to = switch_endpoint(0);
+    FlowMod body;
+    body.entry = {10, {0, 5}, next_hop};
+    body.xid = xid;
+    body.epoch = epoch;
+    m.body = body;
+    m.seq = channel.send(m);
+  };
+
+  send_role(2);
+  queue.run();
+  EXPECT_EQ(agent.epoch(), 2u);
+  EXPECT_EQ(replies, 1u);
+
+  send_role(1);  // stale: a deposed master's retransmission
+  queue.run();
+  EXPECT_EQ(agent.stale_discarded(), 1u);
+  EXPECT_EQ(replies, 1u);  // no reply for the stale request
+  EXPECT_EQ(agent.epoch(), 2u);
+
+  send_mod(1, 100, 1);  // stale mod: discarded, NOT acked
+  queue.run();
+  EXPECT_EQ(agent.stale_discarded(), 2u);
+  EXPECT_EQ(acks, 0u);
+  EXPECT_EQ(agent.entry_epochs().size(), 0u);
+
+  send_mod(2, 101, 1);  // current epoch: applied + acked
+  queue.run();
+  EXPECT_EQ(acks, 1u);
+  ASSERT_TRUE(agent.entry_epochs().contains({0, 5}));
+  EXPECT_EQ(agent.entry_epochs().at({0, 5}), 2u);
+
+  // A later wave re-programs the same match: replace, don't stack.
+  send_role(3);
+  send_mod(3, 102, 2);
+  queue.run();
+  EXPECT_EQ(acks, 2u);
+  EXPECT_EQ(agent.entry_epochs().size(), 1u);
+  EXPECT_EQ(agent.entry_epochs().at({0, 5}), 3u);
+  EXPECT_EQ(dataplane.at(0).flow_table_size(), 1u);
+
+  // Legacy mode (epoch_guard off) accepts everything — the
+  // pre-transactional protocol, bit for bit.
+  SwitchAgent legacy(1, dataplane.at(1), channel, /*epoch_guard=*/false);
+  legacy.attach();
+  Message m;
+  m.from = ctrl_ep;
+  m.to = switch_endpoint(1);
+  m.body = RoleRequest{0, 5};
+  m.seq = channel.send(m);
+  queue.run();
+  m.body = RoleRequest{0, 1};  // would be stale under the guard
+  m.seq = channel.send(m);
+  queue.run();
+  EXPECT_EQ(legacy.stale_discarded(), 0u);
+}
+
+TEST(TransactionalRecovery, AuditorFlagsTamperedState) {
+  // Negative test: fabricate an inconsistent post-recovery state and
+  // check the auditor names each broken invariant.
+  sim::EventQueue queue;
+  ControlChannel channel(att(), queue);
+  sdwan::Dataplane dataplane(att().topology(), sdwan::RoutingMode::kHybrid);
+  std::vector<std::unique_ptr<SwitchAgent>> agents;
+  for (int s = 0; s < att().switch_count(); ++s) {
+    agents.push_back(
+        std::make_unique<SwitchAgent>(s, dataplane.at(s), channel, true));
+    agents.back()->attach();
+  }
+  const EndpointId ctrl_ep = controller_endpoint(att(), 1);
+  channel.attach(ctrl_ep, att().controller(1).location,
+                 [](const Message&) {});
+  // Controller 1 masters switch 0 and installs one entry at epoch 1,
+  // pinning the real 0->5 flow to its actual path successor (so the
+  // "honest" audit below has nothing to complain about).
+  sdwan::FlowId pinned = -1;
+  sdwan::SwitchId next_hop = -1;
+  for (const auto& f : att().flows()) {
+    if (f.src == 0 && f.dst == 5 && f.path.size() >= 2) {
+      pinned = f.id;
+      next_hop = f.path[1];
+      break;
+    }
+  }
+  ASSERT_GE(pinned, 0);
+  Message role;
+  role.from = ctrl_ep;
+  role.to = switch_endpoint(0);
+  role.body = RoleRequest{1, 1};
+  role.seq = channel.send(role);
+  Message mod;
+  mod.from = ctrl_ep;
+  mod.to = switch_endpoint(0);
+  FlowMod body;
+  body.entry = {10, {0, 5}, next_hop};
+  body.xid = 7;
+  body.epoch = 1;
+  mod.body = body;
+  mod.seq = channel.send(mod);
+  queue.run();
+
+  // Commit a plan that (a) expects switch 0 mastered by controller 2,
+  // (b) contains no assignment for the installed entry, at epoch 2 —
+  // and declare controller 1 (the actual master) dead.
+  SharedRecoveryState shared;
+  shared.committed_epoch = 2;
+  core::RecoveryPlan plan;
+  plan.mapping[0] = 2;
+  shared.committed_plan = plan;
+  std::vector<const SwitchAgent*> ptrs;
+  for (const auto& a : agents) ptrs.push_back(a.get());
+  std::vector<bool> alive(
+      static_cast<std::size_t>(att().controller_count()), true);
+  alive[1] = false;
+
+  const AuditReport audit =
+      audit_recovery(att(), dataplane, ptrs, alive, shared);
+  EXPECT_FALSE(audit.clean());
+  const auto counts = audit.by_invariant();
+  EXPECT_GE(counts.count("orphaned-master"), 1u);  // master 1 is dead
+  EXPECT_GE(counts.count("stale-epoch"), 1u);      // entry epoch 1 != 2
+  EXPECT_GE(counts.count("unplanned-entry"), 1u);  // not in the plan
+  EXPECT_GE(counts.count("wrong-master"), 1u);     // plan says 2, is 1
+
+  // The same state audits clean once the tampering is undone.
+  SharedRecoveryState consistent;
+  consistent.committed_epoch = 1;
+  core::RecoveryPlan honest;
+  honest.mapping[0] = 1;
+  honest.sdn_assignments.insert({0, pinned});
+  consistent.committed_plan = honest;
+  std::vector<bool> all_alive(
+      static_cast<std::size_t>(att().controller_count()), true);
+  const AuditReport ok =
+      audit_recovery(att(), dataplane, ptrs, all_alive, consistent);
+  EXPECT_TRUE(ok.clean()) << ok.violations.size();
 }
 
 }  // namespace

@@ -292,8 +292,9 @@ TEST(ObsIntegration, ReportIsAViewOverTheRegistry) {
   EXPECT_EQ(report.messages_sent, m.counter_value("pm_messages_sent_total"));
   EXPECT_EQ(report.recovery_waves,
             m.counter_value("pm_recovery_waves_total"));
-  EXPECT_DOUBLE_EQ(report.detected_at, m.gauge_value("pm_detected_at_ms"));
-  EXPECT_DOUBLE_EQ(report.converged_at,
+  EXPECT_DOUBLE_EQ(report.detected_at.value_or(-1.0),
+                   m.gauge_value("pm_detected_at_ms"));
+  EXPECT_DOUBLE_EQ(report.converged_at.value_or(-1.0),
                    m.gauge_value("pm_converged_at_ms"));
   EXPECT_EQ(report.all_flows_deliverable,
             m.gauge_value("pm_all_flows_deliverable") != 0.0);
