@@ -53,11 +53,15 @@ struct BenchOptions {
   obs::ObsOptions obs;
   /// The invocation, verbatim, for the CSV metadata block.
   std::string command_line;
+  /// --jobs=N: scenario-level parallelism of the sweep. Output is
+  /// byte-identical at any value; 1 (the default) runs fully serial.
+  int jobs = 1;
 
   core::RunnerOptions runner() const {
     core::RunnerOptions opts;
     opts.run_optimal = run_optimal;
     opts.optimal.time_limit_seconds = optimal_time_limit;
+    opts.jobs = jobs;
     return opts;
   }
 };
@@ -75,6 +79,7 @@ inline BenchOptions parse_bench_options(int argc, char** argv,
       args.get_double("optimal-time", default_time_limit);
   o.run_optimal = !args.get_bool("no-optimal", false) &&
                   !args.get_bool("quick", false);
+  o.jobs = util::parse_jobs_flag(args);
   if (args.has("csv")) o.csv_path = args.get_string("csv", "");
   for (const auto& unused : args.unused()) {
     obs::log().warn("unrecognized flag --" + unused);

@@ -11,9 +11,13 @@
 // to a lossy in-band control channel.
 //
 // Usage: ./build/bench/chaos_convergence [--seed=42] [--dup=0.02]
-//        [--until=20000] [--csv=chaos.csv] [--json]
+//        [--until=20000] [--csv=chaos.csv] [--json] [--jobs=N]
 //        [--mid-recovery] [--mid-csv=mid.csv]
 //        [--trace-out=t.json] [--metrics-out=m.prom] [--log-level=info]
+//
+// --jobs=N runs the sweep cells in parallel. Every cell owns its seeded
+// fault stream and its own simulation, so the table/CSV/JSON outputs stay
+// byte-identical at any job count.
 //
 // The observability flags apply to the harshest cell of the sweep
 // (highest loss + jitter) so the exported trace shows the
@@ -37,6 +41,7 @@
 #include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/task_pool.hpp"
 
 #include <fstream>
 #include <optional>
@@ -147,6 +152,7 @@ int main(int argc, char** argv) {
   const bool mid_recovery = args.get_bool("mid-recovery", false);
   std::optional<std::string> mid_csv_path;
   if (args.has("mid-csv")) mid_csv_path = args.get_string("mid-csv", "");
+  const int jobs = util::parse_jobs_flag(args);
   const obs::ObsOptions obs_options = obs::parse_obs_flags(args);
   for (const auto& unused : args.unused()) {
     obs::log().warn("unrecognized flag --" + unused);
@@ -159,13 +165,21 @@ int main(int argc, char** argv) {
   std::vector<Cell> cells;
   for (const double jitter : jitters) {
     for (const double loss : losses) {
-      // The observability sinks ride on the last (harshest) cell.
-      const bool last = jitter == jitters.back() && loss == losses.back();
-      cells.push_back({loss, jitter,
-                       run_cell(net, loss, jitter, dup, seed, until,
-                                last ? &obs_options : nullptr)});
+      cells.push_back({loss, jitter, {}});
     }
   }
+  // Each cell is a self-contained simulation with its own seeded fault
+  // stream, so cells fan out across the pool; parallel_map returns them
+  // in sweep order, keeping every downstream table/CSV byte-identical.
+  util::TaskPool pool(jobs);
+  cells = pool.parallel_map(cells, [&](std::size_t, const Cell& c) -> Cell {
+    // The observability sinks ride on the last (harshest) cell.
+    const bool last =
+        c.jitter_ms == jitters.back() && c.loss == losses.back();
+    return {c.loss, c.jitter_ms,
+            run_cell(net, c.loss, c.jitter_ms, dup, seed, until,
+                     last ? &obs_options : nullptr)};
+  });
 
   std::cout << "=== Chaos sweep: convergence under loss x jitter "
                "(two controller failures, seed "
@@ -264,16 +278,21 @@ int main(int argc, char** argv) {
     const std::vector<double> mid_jitters = {0.0, 20.0};
 
     std::vector<KillCell> kill_cells;
+    std::vector<sdwan::ControllerId> kill_targets;
     for (const auto& [label, target] : kills) {
       for (const double jitter : mid_jitters) {
         for (const double loss : mid_losses) {
-          kill_cells.push_back(
-              {loss, jitter, label,
-               run_kill_cell(net, loss, jitter, dup, seed, until,
-                             target)});
+          kill_cells.push_back({loss, jitter, label, {}});
+          kill_targets.push_back(target);
         }
       }
     }
+    kill_cells = pool.parallel_map(
+        kill_cells, [&](std::size_t idx, const KillCell& c) -> KillCell {
+          return {c.loss, c.jitter_ms, c.kill,
+                  run_kill_cell(net, c.loss, c.jitter_ms, dup, seed, until,
+                                kill_targets[idx])};
+        });
 
     std::cout << "\n=== Mid-recovery kill sweep: second failure at "
                  "t=850 ms, inside the first wave (transactional) ===\n\n";

@@ -6,7 +6,8 @@
 // separate on per-flow communication overhead, where PG pays for its
 // middle layer and PM is lowest.
 //
-// Flags: --no-optimal/--quick, --optimal-time=<sec>, --csv=<path>.
+// Flags: --no-optimal/--quick, --optimal-time=<sec>, --csv=<path>,
+// --jobs=N (parallel cases; output identical at any N).
 #include <iostream>
 
 #include "bench_common.hpp"

@@ -7,7 +7,8 @@
 // fine-grainedly. PM tracks PG/Optimal closely; PG pays the middle-layer
 // overhead.
 //
-// Flags: --no-optimal/--quick, --optimal-time=<sec>, --csv=<path>.
+// Flags: --no-optimal/--quick, --optimal-time=<sec>, --csv=<path>,
+// --jobs=N (parallel cases; output identical at any N).
 #include <iostream>
 
 #include "bench_common.hpp"

@@ -6,7 +6,8 @@
 // case (the paper reports results for only 12 of 20 cases), which this
 // bench reports explicitly.
 //
-// Flags: --no-optimal/--quick, --optimal-time=<sec>, --csv=<path>.
+// Flags: --no-optimal/--quick, --optimal-time=<sec>, --csv=<path>,
+// --jobs=N (parallel cases; output identical at any N).
 #include <iostream>
 
 #include "bench_common.hpp"

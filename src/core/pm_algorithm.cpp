@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <vector>
 
 #include "obs/profile.hpp"
 
@@ -14,18 +15,61 @@ using sdwan::ControllerId;
 using sdwan::FlowId;
 using sdwan::SwitchId;
 
-/// Flows with beta = 1 at each offline switch, precomputed once: the inner
-/// loops of Algorithm 1 iterate "l in {beta_i^l = 1}" repeatedly.
-std::map<SwitchId, std::vector<std::pair<FlowId, std::int64_t>>>
-flows_by_switch(const sdwan::FailureState& state) {
-  std::map<SwitchId, std::vector<std::pair<FlowId, std::int64_t>>> by_switch;
-  for (SwitchId s : state.offline_switches()) by_switch[s] = {};
+/// Dense working state of Algorithm 1. Switch, controller and flow ids are
+/// small dense integers, so every map the balancing loop used to consult is
+/// a vector indexed by id (or by offline-switch slot): the inner sweeps
+/// touch contiguous memory and never pay a tree lookup.
+struct WorkingState {
+  /// slot_of[i] = position of offline switch i in offline_switches(),
+  /// -1 for online switches.
+  std::vector<int> slot_of;
+  /// Flows with beta = 1 at each offline switch (by slot), with the
+  /// programmability gained there. Ascending flow id (recoverable_flows()
+  /// order), which makes seed adoption a binary search.
+  std::vector<std::vector<std::pair<FlowId, std::int64_t>>> by_switch;
+  /// assigned[slot][k] = 1 iff by_switch[slot][k] is already in SDN mode
+  /// (mirrors plan.sdn_assignments for O(1) membership).
+  std::vector<std::vector<char>> assigned;
+  /// Residual capacity per controller id (active entries only are read).
+  std::vector<double> rest;
+  /// H per flow id; valid only where recoverable[l] != 0.
+  std::vector<char> recoverable;
+  std::vector<std::int64_t> h;
+  /// Controller each offline switch is mapped to so far; -1 = unmapped.
+  /// Mirrors plan.mapping.
+  std::vector<ControllerId> mapped_to;
+};
+
+WorkingState build_working_state(const sdwan::FailureState& state) {
+  const sdwan::Network& net = state.network();
+  WorkingState w;
+  const auto& offline = state.offline_switches();
+  w.slot_of.assign(static_cast<std::size_t>(net.switch_count()), -1);
+  for (std::size_t k = 0; k < offline.size(); ++k) {
+    w.slot_of[static_cast<std::size_t>(offline[k])] = static_cast<int>(k);
+  }
+  w.by_switch.resize(offline.size());
   for (FlowId l : state.recoverable_flows()) {
     for (const auto& opp : state.opportunities(l)) {
-      by_switch[opp.sw].emplace_back(l, opp.p);
+      const int slot = w.slot_of[static_cast<std::size_t>(opp.sw)];
+      w.by_switch[static_cast<std::size_t>(slot)].emplace_back(l, opp.p);
     }
   }
-  return by_switch;
+  w.assigned.resize(offline.size());
+  for (std::size_t k = 0; k < offline.size(); ++k) {
+    w.assigned[k].assign(w.by_switch[k].size(), 0);
+  }
+  w.rest.assign(static_cast<std::size_t>(net.controller_count()), 0.0);
+  for (ControllerId j : state.active_controllers()) {
+    w.rest[static_cast<std::size_t>(j)] = state.rest_capacity(j);
+  }
+  w.recoverable.assign(static_cast<std::size_t>(net.flow_count()), 0);
+  w.h.assign(static_cast<std::size_t>(net.flow_count()), 0);
+  for (FlowId l : state.recoverable_flows()) {
+    w.recoverable[static_cast<std::size_t>(l)] = 1;
+  }
+  w.mapped_to.assign(static_cast<std::size_t>(net.switch_count()), -1);
+  return w;
 }
 
 }  // namespace
@@ -36,15 +80,8 @@ RecoveryPlan run_pm(const sdwan::FailureState& state, PmOptions options) {
   RecoveryPlan plan;
   plan.algorithm = "PM";
 
-  const auto by_switch = flows_by_switch(state);
-
-  // Working copies of A^rest and the per-flow programmability H.
-  std::map<ControllerId, double> rest;
-  for (ControllerId j : state.active_controllers()) {
-    rest[j] = state.rest_capacity(j);
-  }
-  std::map<FlowId, std::int64_t> h;
-  for (FlowId l : state.recoverable_flows()) h[l] = 0;
+  WorkingState w = build_working_state(state);
+  const auto& recoverable_flows = state.recoverable_flows();
 
   const int total_iterations =
       options.total_iterations > 0 ? options.total_iterations
@@ -57,18 +94,34 @@ RecoveryPlan run_pm(const sdwan::FailureState& state, PmOptions options) {
     for (const auto& [sw, ctrl] : options.seed->mapping) {
       if (state.is_offline_switch(sw) && state.is_active_controller(ctrl)) {
         plan.mapping[sw] = ctrl;
+        w.mapped_to[static_cast<std::size_t>(sw)] = ctrl;
       }
     }
     for (const auto& [sw, flow] : options.seed->sdn_assignments) {
-      const ControllerId j = plan.controller_of(sw);
-      if (j < 0 || !h.contains(flow)) continue;
-      const auto& flows = by_switch.at(sw);
-      const auto it = std::find_if(
-          flows.begin(), flows.end(),
-          [&](const auto& fl) { return fl.first == flow; });
-      if (it == flows.end() || rest.at(j) < 1.0) continue;
-      rest.at(j) -= 1.0;
-      h.at(flow) += it->second;
+      const ControllerId j =
+          (sw >= 0 && sw < state.network().switch_count())
+              ? w.mapped_to[static_cast<std::size_t>(sw)]
+              : plan.controller_of(sw);
+      if (j < 0) continue;
+      if (flow < 0 || flow >= state.network().flow_count() ||
+          !w.recoverable[static_cast<std::size_t>(flow)]) {
+        continue;
+      }
+      // by_switch rows are ascending in flow id, so the old linear
+      // find_if is a binary search.
+      const auto slot = static_cast<std::size_t>(
+          w.slot_of[static_cast<std::size_t>(sw)]);
+      auto& flows = w.by_switch[slot];
+      const auto it = std::lower_bound(
+          flows.begin(), flows.end(), flow,
+          [](const auto& fl, FlowId f) { return fl.first < f; });
+      if (it == flows.end() || it->first != flow ||
+          w.rest[static_cast<std::size_t>(j)] < 1.0) {
+        continue;
+      }
+      w.rest[static_cast<std::size_t>(j)] -= 1.0;
+      w.h[static_cast<std::size_t>(flow)] += it->second;
+      w.assigned[slot][static_cast<std::size_t>(it - flows.begin())] = 1;
       plan.sdn_assignments.insert({sw, flow});
     }
   }
@@ -83,23 +136,28 @@ RecoveryPlan run_pm(const sdwan::FailureState& state, PmOptions options) {
     ++test_count;
     // sigma = min(H) — the water level rises to the new minimum.
     std::int64_t min_h = std::numeric_limits<std::int64_t>::max();
-    for (const auto& [l, hl] : h) min_h = std::min(min_h, hl);
-    if (!h.empty()) sigma = min_h;
+    for (FlowId l : recoverable_flows) {
+      min_h = std::min(min_h, w.h[static_cast<std::size_t>(l)]);
+    }
+    if (!recoverable_flows.empty()) sigma = min_h;
   };
 
   // Lines 2-40: the balancing loop.
   {
     OBS_SPAN("pm.balancing");
-    while (test_count < total_iterations && !h.empty()) {
+    while (test_count < total_iterations && !recoverable_flows.empty()) {
       // Lines 5-15: find the switch with the most least-programmability
       // flows. `untested` is kept ascending, so ties pick the lowest id.
       std::size_t delta = 0;
       SwitchId i0 = -1;
       for (SwitchId s : untested) {
+        const auto& flows =
+            w.by_switch[static_cast<std::size_t>(
+                w.slot_of[static_cast<std::size_t>(s)])];
         std::size_t count = 0;
-        for (const auto& [l, p] : by_switch.at(s)) {
+        for (const auto& [l, p] : flows) {
           (void)p;
-          if (h.at(l) == sigma) ++count;
+          if (w.h[static_cast<std::size_t>(l)] == sigma) ++count;
         }
         if (count > delta) {
           delta = count;
@@ -115,10 +173,11 @@ RecoveryPlan run_pm(const sdwan::FailureState& state, PmOptions options) {
       }
 
       // Lines 17-28: map switch i0 to a controller j0.
-      ControllerId j0 = plan.controller_of(i0);
+      ControllerId j0 = w.mapped_to[static_cast<std::size_t>(i0)];
       if (j0 < 0) {
         for (ControllerId j : state.controllers_by_delay(i0)) {
-          if (rest.at(j) >= static_cast<double>(state.gamma(i0))) {
+          if (w.rest[static_cast<std::size_t>(j)] >=
+              static_cast<double>(state.gamma(i0))) {
             j0 = j;
             break;  // nearest capable controller
           }
@@ -128,25 +187,31 @@ RecoveryPlan run_pm(const sdwan::FailureState& state, PmOptions options) {
           // capacity.
           double best = -1.0;
           for (ControllerId j : state.active_controllers()) {
-            if (rest.at(j) > best) {
-              best = rest.at(j);
+            if (w.rest[static_cast<std::size_t>(j)] > best) {
+              best = w.rest[static_cast<std::size_t>(j)];
               j0 = j;
             }
           }
         }
         plan.mapping[i0] = j0;  // line 29: X <- X + (i0, j0)
+        w.mapped_to[static_cast<std::size_t>(i0)] = j0;
       }
       std::erase(untested, i0);  // line 29: S* <- S* \ s_i0
 
       // Lines 31-36: put least-programmability flows at i0 into SDN mode.
-      for (const auto& [l0, p] : by_switch.at(i0)) {
+      const auto slot = static_cast<std::size_t>(
+          w.slot_of[static_cast<std::size_t>(i0)]);
+      const auto& flows = w.by_switch[slot];
+      auto& flags = w.assigned[slot];
+      for (std::size_t k = 0; k < flows.size(); ++k) {
+        const auto& [l0, p] = flows[k];
         // An assignment costs one whole control unit, so a fractional
         // residual below 1 cannot host it.
-        if (h.at(l0) <= sigma &&
-            !plan.sdn_assignments.contains({i0, l0}) &&
-            rest.at(j0) >= 1.0) {
-          rest.at(j0) -= 1.0;
-          h.at(l0) += p;
+        if (w.h[static_cast<std::size_t>(l0)] <= sigma && !flags[k] &&
+            w.rest[static_cast<std::size_t>(j0)] >= 1.0) {
+          w.rest[static_cast<std::size_t>(j0)] -= 1.0;
+          w.h[static_cast<std::size_t>(l0)] += p;
+          flags[k] = 1;
           plan.sdn_assignments.insert({i0, l0});
         }
       }
@@ -159,15 +224,20 @@ RecoveryPlan run_pm(const sdwan::FailureState& state, PmOptions options) {
   // Lines 42-50: utilization pass — spend leftover capacity.
   if (!options.skip_utilization_pass) {
     OBS_SPAN("pm.utilization");
-    for (const auto& [i0, flows] : by_switch) {
-      const ControllerId j0 = plan.controller_of(i0);
+    // offline_switches() ascends, so switches are visited in the same
+    // order the map-keyed working state used.
+    const auto& offline = state.offline_switches();
+    for (std::size_t slot = 0; slot < offline.size(); ++slot) {
+      const SwitchId i0 = offline[slot];
+      const ControllerId j0 = w.mapped_to[static_cast<std::size_t>(i0)];
       if (j0 < 0) continue;
-      for (const auto& [l0, p] : flows) {
-        (void)p;
-        if (rest.at(j0) >= 1.0 &&
-            !plan.sdn_assignments.contains({i0, l0})) {
-          rest.at(j0) -= 1.0;
-          plan.sdn_assignments.insert({i0, l0});
+      const auto& flows = w.by_switch[slot];
+      auto& flags = w.assigned[slot];
+      for (std::size_t k = 0; k < flows.size(); ++k) {
+        if (w.rest[static_cast<std::size_t>(j0)] >= 1.0 && !flags[k]) {
+          w.rest[static_cast<std::size_t>(j0)] -= 1.0;
+          flags[k] = 1;
+          plan.sdn_assignments.insert({i0, flows[k].first});
         }
       }
     }

@@ -1,6 +1,7 @@
 #include "core/runner.hpp"
 
 #include "obs/profile.hpp"
+#include "util/task_pool.hpp"
 
 namespace pm::core {
 
@@ -47,11 +48,12 @@ CaseResult run_case(const sdwan::Network& net,
 
 std::vector<CaseResult> run_failure_sweep(const sdwan::Network& net, int k,
                                           const RunnerOptions& options) {
-  std::vector<CaseResult> results;
-  for (const auto& scenario : sdwan::enumerate_failures(net, k)) {
-    results.push_back(run_case(net, scenario, options));
-  }
-  return results;
+  const auto scenarios = sdwan::enumerate_failures(net, k);
+  util::TaskPool pool(options.jobs);
+  return pool.parallel_map(scenarios, [&](std::size_t,
+                                          const sdwan::FailureScenario& s) {
+    return run_case(net, s, options);
+  });
 }
 
 }  // namespace pm::core

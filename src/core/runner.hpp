@@ -38,6 +38,11 @@ struct CaseResult {
 struct RunnerOptions {
   bool run_optimal = true;
   OptimalOptions optimal;
+  /// Scenario-level parallelism for run_failure_sweep (the --jobs flag).
+  /// 1 keeps the historical single-threaded path; any value produces
+  /// byte-identical results — cases are independent and results are
+  /// collected in scenario order.
+  int jobs = 1;
 };
 
 /// Runs one failure case.

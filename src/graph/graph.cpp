@@ -33,6 +33,7 @@ void Graph::add_edge(NodeId u, NodeId v, double w) {
   adj_[static_cast<std::size_t>(u)].push_back({v, w});
   adj_[static_cast<std::size_t>(v)].push_back({u, w});
   edge_list_.push_back({std::min(u, v), std::max(u, v), w});
+  ++epoch_;
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {

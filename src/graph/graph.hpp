@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <stdexcept>
 #include <utility>
@@ -38,6 +39,11 @@ class Graph {
   /// out-of-range endpoints or negative weight.
   void add_edge(NodeId u, NodeId v, double w = 1.0);
 
+  /// Structural revision counter: bumped on every mutation (add_edge).
+  /// Derived caches (graph::DiversityCache) key their entries on it so a
+  /// mutated graph invalidates them instead of serving stale answers.
+  std::uint64_t epoch() const { return epoch_; }
+
   bool has_edge(NodeId u, NodeId v) const;
 
   /// Weight of edge {u, v}; throws std::out_of_range if absent.
@@ -67,6 +73,7 @@ class Graph {
   std::vector<std::vector<Arc>> adj_;
   std::map<std::pair<NodeId, NodeId>, double> edges_;
   std::vector<EdgeRecord> edge_list_;
+  std::uint64_t epoch_ = 0;
 };
 
 /// True if every node is reachable from node 0 (or the graph is empty).

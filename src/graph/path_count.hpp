@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/graph.hpp"
 
@@ -48,9 +49,17 @@ struct PathCountOptions {
 /// Number of simple paths src -> dst with at most `max_hops` edges.
 /// Exact (subject to options.cap); exponential in the worst case but pruned
 /// by per-node BFS lower bounds, which keeps WAN-scale graphs fast.
+/// The traversal is iterative (explicit stack) and fully re-entrant.
 std::int64_t count_paths_bounded(const Graph& g, NodeId src, NodeId dst,
                                  int max_hops,
                                  std::int64_t cap = 1'000'000);
+
+/// As above with `hop_distances(g, dst)` precomputed by the caller — the
+/// per-call BFS dominates when sweeping many sources against one
+/// destination (graph::DiversityCache does exactly that).
+std::int64_t count_paths_bounded(const Graph& g, NodeId src, NodeId dst,
+                                 int max_hops, std::int64_t cap,
+                                 const std::vector<int>& dist_to_dst);
 
 /// Number of hop-shortest paths src -> dst (DAG DP). 0 if unreachable.
 std::int64_t count_shortest_paths(const Graph& g, NodeId src, NodeId dst);
@@ -59,9 +68,19 @@ std::int64_t count_shortest_paths(const Graph& g, NodeId src, NodeId dst);
 /// 0 when src == dst or dst unreachable.
 std::int64_t count_progress_next_hops(const Graph& g, NodeId src, NodeId dst);
 
+/// As above with dst's hop-distance vector precomputed.
+std::int64_t count_progress_next_hops(const Graph& g, NodeId src, NodeId dst,
+                                      const std::vector<int>& dist_to_dst);
+
 /// Dispatches on options.policy. For kBoundedSimplePaths the hop budget is
 /// hop_distance(src, dst) + options.slack.
 std::int64_t path_diversity(const Graph& g, NodeId src, NodeId dst,
                             const PathCountOptions& options = {});
+
+/// As above with dst's hop-distance vector precomputed (ignored by the
+/// kShortestPathDag policy, whose DP runs from src).
+std::int64_t path_diversity(const Graph& g, NodeId src, NodeId dst,
+                            const PathCountOptions& options,
+                            const std::vector<int>& dist_to_dst);
 
 }  // namespace pm::graph

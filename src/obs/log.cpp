@@ -30,6 +30,7 @@ void Logger::set_stream(std::ostream* out) { out_ = out; }
 
 void Logger::write(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
+  const std::lock_guard<std::mutex> lock(write_mutex_);
   std::ostream& out = out_ != nullptr ? *out_ : std::cerr;
   out << "[" << log_level_name(level) << "] " << message << "\n";
 }

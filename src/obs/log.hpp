@@ -8,6 +8,7 @@
 // output must not vary across identically-seeded runs.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -52,6 +53,9 @@ class Logger {
 
   LogLevel level_ = LogLevel::kInfo;
   std::ostream* out_ = nullptr;  // nullptr = stderr
+  /// Serializes write() so lines from pool workers never interleave
+  /// mid-line.
+  std::mutex write_mutex_;
 };
 
 /// The process-wide logger.

@@ -52,6 +52,8 @@ void Histogram::observe(double v) {
   sum_ += v;
 }
 
+// Precondition: mutex_ held by the caller (the lazy metric construction
+// that follows must happen under the same critical section).
 MetricsRegistry::Entry& MetricsRegistry::find_or_create(
     const std::string& name, const std::string& help, const Labels& labels,
     Kind kind) {
@@ -74,6 +76,7 @@ MetricsRegistry::Entry& MetricsRegistry::find_or_create(
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help,
                                   const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   Entry& e = find_or_create(name, help, labels, Kind::kCounter);
   if (!e.counter) e.counter = std::make_unique<Counter>();
   return *e.counter;
@@ -82,6 +85,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& help,
                               const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   Entry& e = find_or_create(name, help, labels, Kind::kGauge);
   if (!e.gauge) e.gauge = std::make_unique<Gauge>();
   return *e.gauge;
@@ -91,6 +95,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const std::string& help,
                                       std::vector<double> upper_bounds,
                                       const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   Entry& e = find_or_create(name, help, labels, Kind::kHistogram);
   if (!e.histogram) {
     e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
@@ -100,6 +105,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 
 const MetricsRegistry::Entry* MetricsRegistry::find(
     const std::string& name, const Labels& labels) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(Key{name, format_labels(labels)});
   return it == entries_.end() ? nullptr : &it->second;
 }
@@ -118,6 +124,7 @@ double MetricsRegistry::gauge_value(const std::string& name,
 
 std::map<std::string, std::uint64_t> MetricsRegistry::counters_by_label(
     const std::string& name, const std::string& label_key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::map<std::string, std::uint64_t> out;
   for (const auto& [key, entry] : entries_) {
     if (key.first != name || !entry.counter) continue;
@@ -132,6 +139,7 @@ std::map<std::string, std::uint64_t> MetricsRegistry::counters_by_label(
 }
 
 void MetricsRegistry::write_prometheus(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::string last_name;
   for (const auto& [key, entry] : entries_) {
     const std::string& name = key.first;
@@ -178,6 +186,7 @@ void MetricsRegistry::write_prometheus(std::ostream& out) const {
 }
 
 util::JsonValue MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   util::JsonValue doc = util::JsonValue::array();
   for (const auto& [key, entry] : entries_) {
     util::JsonValue m = util::JsonValue::object();

@@ -12,11 +12,20 @@
 // file.
 //
 // Exports: Prometheus text exposition format and a JSON tree.
+//
+// Thread-safety: Counter and Gauge updates are atomic (relaxed — they are
+// independent statistics, not synchronization), and the registry guards its
+// series map with a mutex, so pool workers running whole scenarios may
+// register and bump series concurrently. Histogram::observe mutates three
+// fields and stays single-writer: each simulation owns its obs::Context,
+// and the scenario pool runs one simulation per worker.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <span>
 #include <string>
@@ -32,22 +41,27 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 
 class Counter {
  public:
-  void inc(std::uint64_t delta = 1) { value_ += delta; }
-  std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  double value() const { return value_; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
+/// NOT safe for concurrent observe() — see the threading note above.
 class Histogram {
  public:
   /// `upper_bounds` must be ascending; an implicit +Inf bucket follows.
@@ -94,7 +108,10 @@ class MetricsRegistry {
   std::map<std::string, std::uint64_t> counters_by_label(
       const std::string& name, const std::string& label_key) const;
 
-  std::size_t series_count() const { return entries_.size(); }
+  std::size_t series_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
 
   /// Prometheus text exposition format.
   void write_prometheus(std::ostream& out) const;
@@ -121,6 +138,10 @@ class MetricsRegistry {
                         const Labels& labels, Kind kind);
   const Entry* find(const std::string& name, const Labels& labels) const;
 
+  /// Guards entries_ (the map, not the metric values — node handles are
+  /// stable, so the Counter&/Histogram& references handed out stay valid
+  /// and are updated lock-free).
+  mutable std::mutex mutex_;
   std::map<Key, Entry> entries_;
 };
 

@@ -13,6 +13,7 @@ Profiler& Profiler::global() {
 }
 
 void Profiler::record(const char* name, double elapsed_ms, int depth) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   SpanStats& s = spans_[name];
   if (s.count == 0) {
     s.min_ms = elapsed_ms;
@@ -27,6 +28,7 @@ void Profiler::record(const char* name, double elapsed_ms, int depth) {
 }
 
 util::JsonValue Profiler::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   util::JsonValue doc = util::JsonValue::object();
   doc["deterministic"] = false;
   doc["unit"] = "ms";
@@ -48,6 +50,7 @@ util::JsonValue Profiler::to_json() const {
 }
 
 void Profiler::write_table(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   util::TextTable t(
       {"span", "count", "total_ms", "mean_ms", "min_ms", "max_ms"});
   for (const auto& [name, s] : spans_) {

@@ -13,11 +13,17 @@
 // Wall-clock data is inherently non-deterministic, so it is exported
 // through its own file (--profile-out) and never mixed into the
 // deterministic trace/metrics outputs.
+//
+// Thread-safety: record() is mutex-guarded and span nesting depth is
+// thread-local, so spans firing inside pool workers aggregate correctly
+// (their durations interleave into the shared stats; depth reflects each
+// worker's own nesting).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 
@@ -29,6 +35,9 @@ namespace detail {
 /// Mirrored from Profiler::enabled() so a disabled ScopedSpan is one
 /// inlined load+branch — no call into profile.cpp, no static-init guard.
 inline bool profiler_enabled = false;
+/// Per-thread span nesting depth (1 = top level). Thread-local so spans
+/// opened by concurrent pool workers never see each other's nesting.
+inline thread_local int span_depth = 0;
 }  // namespace detail
 
 class Profiler {
@@ -51,10 +60,16 @@ class Profiler {
   }
 
   void record(const char* name, double elapsed_ms, int depth);
-  int current_depth() const { return depth_; }
+  /// Nesting depth of the calling thread's open spans.
+  int current_depth() const { return detail::span_depth; }
 
+  /// Aggregated stats. Reference into the live map: only read it once the
+  /// spans of interest have closed (tests and end-of-run reports).
   const std::map<std::string, SpanStats>& spans() const { return spans_; }
-  void reset() { spans_.clear(); }
+  void reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    spans_.clear();
+  }
 
   /// JSON report, marked non-deterministic.
   util::JsonValue to_json() const;
@@ -63,10 +78,8 @@ class Profiler {
   void write_table(std::ostream& out) const;
 
  private:
-  friend class ScopedSpan;
-
   bool enabled_ = false;
-  int depth_ = 0;
+  mutable std::mutex mutex_;  ///< Guards spans_.
   std::map<std::string, SpanStats> spans_;
 };
 
@@ -75,7 +88,7 @@ class ScopedSpan {
   explicit ScopedSpan(const char* name)
       : name_(name), active_(detail::profiler_enabled) {
     if (active_) {
-      depth_ = ++Profiler::global().depth_;
+      depth_ = ++detail::span_depth;
       start_ = std::chrono::steady_clock::now();
     }
   }
@@ -86,9 +99,8 @@ class ScopedSpan {
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start_)
             .count();
-    Profiler& p = Profiler::global();
-    p.record(name_, elapsed_ms, depth_);
-    --p.depth_;
+    Profiler::global().record(name_, elapsed_ms, depth_);
+    --detail::span_depth;
   }
 
   ScopedSpan(const ScopedSpan&) = delete;

@@ -13,6 +13,7 @@ util::JsonValue args_object(const Tracer::Args& args) {
 }  // namespace
 
 void Tracer::set_track_name(int track, std::string name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   track_names_[track] = std::move(name);
 }
 
@@ -44,6 +45,7 @@ void Tracer::complete(double ts_ms, double dur_ms, std::string cat,
 }
 
 void Tracer::write_jsonl(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (const Event& e : events_) {
     util::JsonValue line = util::JsonValue::object();
     line["ts_ms"] = e.ts_ms;
@@ -60,6 +62,7 @@ void Tracer::write_jsonl(std::ostream& out) const {
 }
 
 void Tracer::write_chrome_trace(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   util::JsonValue events = util::JsonValue::array();
 
   // Track-name metadata first so viewers label rows before data arrives.

@@ -16,10 +16,16 @@
 // The tracer is a null sink by default: while disabled, record calls
 // return after one branch and allocate nothing. Call sites are expected
 // to guard arg construction with `if (tracer.enabled())`.
+//
+// Recording is mutex-guarded, so simulations driven from pool workers may
+// share a tracer; event order is then worker interleaving (callers that
+// need byte-identical traces keep one tracer per simulation, which is the
+// layout every harness here uses).
 #pragma once
 
 #include <cstddef>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -55,8 +61,14 @@ class Tracer {
   void complete(double ts_ms, double dur_ms, std::string cat,
                 std::string name, int track, Args args = {});
 
-  std::size_t size() const { return events_.size(); }
-  void clear() { events_.clear(); }
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+  }
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+  }
 
   /// One JSON object per line; every line parses standalone.
   void write_jsonl(std::ostream& out) const;
@@ -75,9 +87,13 @@ class Tracer {
     Args args;
   };
 
-  void record(Event e) { events_.push_back(std::move(e)); }
+  void record(Event e) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(e));
+  }
 
   bool enabled_ = false;
+  mutable std::mutex mutex_;  ///< Guards events_ and track_names_.
   std::vector<Event> events_;
   std::map<int, std::string> track_names_;
 };

@@ -109,6 +109,20 @@ FailureState::FailureState(const Network& net, FailureScenario scenario)
     if (!opps.empty()) recoverable_flows_.push_back(f.id);
   }
 
+  // Precomputed C(i) orderings. The planners walk controllers-by-delay in
+  // their inner loops for every candidate switch, so sort once per switch
+  // here instead of once per query there. stable_sort on the ascending
+  // active_ list breaks delay ties by controller id, matching the
+  // first-minimum scan of nearest_active_controller.
+  by_delay_.assign(static_cast<std::size_t>(net.switch_count()), active_);
+  for (SwitchId i = 0; i < net.switch_count(); ++i) {
+    auto& order = by_delay_[static_cast<std::size_t>(i)];
+    std::stable_sort(order.begin(), order.end(),
+                     [&](ControllerId a, ControllerId b) {
+                       return net.delay_ms(i, a) < net.delay_ms(i, b);
+                     });
+  }
+
   // G of Eq. (6).
   for (SwitchId i : offline_) {
     const ControllerId j = nearest_active_controller(i);
@@ -149,28 +163,15 @@ const std::vector<FailureState::Opportunity>& FailureState::opportunities(
   return opportunities_[static_cast<std::size_t>(l)];
 }
 
-std::vector<ControllerId> FailureState::controllers_by_delay(
+const std::vector<ControllerId>& FailureState::controllers_by_delay(
     SwitchId i) const {
-  std::vector<ControllerId> order = active_;
-  std::stable_sort(order.begin(), order.end(),
-                   [&](ControllerId a, ControllerId b) {
-                     return net_->delay_ms(i, a) < net_->delay_ms(i, b);
-                   });
-  return order;
+  net_->topology().graph().check_node(i);
+  return by_delay_[static_cast<std::size_t>(i)];
 }
 
 ControllerId FailureState::nearest_active_controller(SwitchId i) const {
   if (active_.empty()) throw std::logic_error("no active controllers");
-  ControllerId best = active_.front();
-  double best_delay = net_->delay_ms(i, best);
-  for (ControllerId j : active_) {
-    const double d = net_->delay_ms(i, j);
-    if (d < best_delay) {
-      best = j;
-      best_delay = d;
-    }
-  }
-  return best;
+  return controllers_by_delay(i).front();
 }
 
 }  // namespace pm::sdwan

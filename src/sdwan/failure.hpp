@@ -81,8 +81,10 @@ class FailureState {
   const std::vector<Opportunity>& opportunities(FlowId l) const;
 
   /// Active controllers sorted by ascending D_ij from switch `i` (the
-  /// paper's C(i) ordering; ties broken by controller id).
-  std::vector<ControllerId> controllers_by_delay(SwitchId i) const;
+  /// paper's C(i) ordering; ties broken by controller id). Precomputed for
+  /// every switch at construction — the planners walk these orderings in
+  /// their inner loops, so the per-call sort they used to pay is gone.
+  const std::vector<ControllerId>& controllers_by_delay(SwitchId i) const;
 
   /// The nearest active controller to switch `i`.
   ControllerId nearest_active_controller(SwitchId i) const;
@@ -109,6 +111,9 @@ class FailureState {
   std::vector<double> rest_capacity_;  // indexed by ControllerId
   /// Indexed by FlowId; empty vectors for flows that are not offline.
   std::vector<std::vector<Opportunity>> opportunities_;
+  /// by_delay_[i] = active controllers in ascending-D_ij order from
+  /// switch i (ties by id). One sort per switch at construction.
+  std::vector<std::vector<ControllerId>> by_delay_;
   double ideal_total_delay_ = 0.0;
   int max_offline_on_path_ = 0;
 };

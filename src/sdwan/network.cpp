@@ -3,21 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "graph/diversity_cache.hpp"
 #include "graph/shortest_path.hpp"
 
 namespace pm::sdwan {
-
-namespace {
-
-/// diversity at a path switch: 0 at the destination (no forwarding choice
-/// remains), otherwise the configured path-diversity count.
-std::int64_t switch_diversity(const graph::Graph& g, SwitchId i, SwitchId dst,
-                              const graph::PathCountOptions& options) {
-  if (i == dst) return 0;
-  return graph::path_diversity(g, i, dst, options);
-}
-
-}  // namespace
 
 Network::Network(topo::Topology topology,
                  std::map<SwitchId, std::vector<SwitchId>> domains,
@@ -100,16 +89,14 @@ Network::Network(topo::Topology topology,
   }
 
   // Programmability quantities. Path diversity from a node to a
-  // destination does not depend on the flow, so cache per (node, dst).
-  std::map<std::pair<SwitchId, SwitchId>, std::int64_t> diversity_cache;
-  auto diversity_of = [&](SwitchId i, SwitchId dst) {
-    const auto key = std::pair{i, dst};
-    const auto it = diversity_cache.find(key);
-    if (it != diversity_cache.end()) return it->second;
-    const std::int64_t d =
-        switch_diversity(topology_.graph(), i, dst, config_.path_count);
-    diversity_cache.emplace(key, d);
-    return d;
+  // destination does not depend on the flow, so memoize per (node, dst);
+  // the cache also shares one BFS distance vector across every query
+  // against the same destination. Diversity at the destination itself is 0
+  // (no forwarding choice remains).
+  graph::DiversityCache diversity_cache(config_.path_count);
+  auto diversity_of = [&](SwitchId i, SwitchId dst) -> std::int64_t {
+    if (i == dst) return 0;
+    return diversity_cache.diversity(topology_.graph(), i, dst);
   };
 
   diversity_.resize(flows_.size());

@@ -1,6 +1,9 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
+
 #include "util/strings.hpp"
+#include "util/task_pool.hpp"
 
 namespace pm::util {
 
@@ -64,6 +67,14 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   if (it == flags_.end()) return fallback;
   const std::string v = to_lower(it->second.back());
   return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+int parse_jobs_flag(CliArgs& args) {
+  const std::string value = args.get_string("jobs", "1");
+  if (to_lower(value) == "auto") return TaskPool::hardware_jobs();
+  long long jobs = 1;
+  if (!parse_int(value, jobs)) jobs = 1;
+  return static_cast<int>(std::clamp<long long>(jobs, 1, 1024));
 }
 
 std::vector<std::string> CliArgs::unused() const {

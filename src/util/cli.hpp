@@ -40,4 +40,10 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
+/// The shared --jobs=N flag: scenario-level parallelism for the sweep
+/// drivers (util::TaskPool size). Accepts "auto" (hardware concurrency)
+/// or an integer; anything below 1 — including unparsable values —
+/// clamps to 1, the bit-identical serial default.
+int parse_jobs_flag(CliArgs& args);
+
 }  // namespace pm::util
