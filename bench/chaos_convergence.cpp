@@ -39,6 +39,7 @@
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
+#include "util/shutdown.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/task_pool.hpp"
@@ -53,6 +54,9 @@ struct Cell {
   double loss = 0.0;
   double jitter_ms = 0.0;
   pm::ctrl::SimulationReport report;
+  /// False when the cell was skipped by a shutdown request; skipped
+  /// cells are dropped from every output (partial flush, never zeros).
+  bool computed = true;
 };
 
 pm::ctrl::SimulationReport run_cell(const pm::sdwan::Network& net,
@@ -103,6 +107,7 @@ struct KillCell {
   double jitter_ms = 0.0;
   std::string kill;
   pm::ctrl::SimulationReport report;
+  bool computed = true;
 };
 
 // One mid-recovery cell: controller 3 (C13) fails at t=500; the kill
@@ -157,6 +162,10 @@ int main(int argc, char** argv) {
   for (const auto& unused : args.unused()) {
     obs::log().warn("unrecognized flag --" + unused);
   }
+  // SIGINT/SIGTERM skip the remaining cells and flush what finished —
+  // a long sweep interrupted at cell 12 still leaves a usable partial
+  // table/CSV instead of nothing.
+  util::install_shutdown_handler();
 
   const std::vector<double> losses = {0.0, 0.02, 0.05, 0.10, 0.20};
   const std::vector<double> jitters = {0.0, 5.0, 20.0};
@@ -173,6 +182,7 @@ int main(int argc, char** argv) {
   // in sweep order, keeping every downstream table/CSV byte-identical.
   util::TaskPool pool(jobs);
   cells = pool.parallel_map(cells, [&](std::size_t, const Cell& c) -> Cell {
+    if (util::shutdown_requested()) return {c.loss, c.jitter_ms, {}, false};
     // The observability sinks ride on the last (harshest) cell.
     const bool last =
         c.jitter_ms == jitters.back() && c.loss == losses.back();
@@ -180,6 +190,13 @@ int main(int argc, char** argv) {
             run_cell(net, c.loss, c.jitter_ms, dup, seed, until,
                      last ? &obs_options : nullptr)};
   });
+  const std::size_t total_cells = cells.size();
+  std::erase_if(cells, [](const Cell& c) { return !c.computed; });
+  const bool interrupted = util::shutdown_requested();
+  if (interrupted) {
+    std::cout << "[interrupted: flushing " << cells.size() << " of "
+              << total_cells << " cells]\n";
+  }
 
   std::cout << "=== Chaos sweep: convergence under loss x jitter "
                "(two controller failures, seed "
@@ -259,7 +276,7 @@ int main(int argc, char** argv) {
     }
     std::cout << rows.to_string(2) << "\n";
   }
-  if (mid_recovery) {
+  if (mid_recovery && !interrupted) {
     // The coordinator after C13's failure is the lowest surviving id
     // (controller 0); the adopter target is the highest-id controller
     // the wave-1 plan hands switches to, so the kill lands on a node
@@ -289,10 +306,20 @@ int main(int argc, char** argv) {
     }
     kill_cells = pool.parallel_map(
         kill_cells, [&](std::size_t idx, const KillCell& c) -> KillCell {
+          if (util::shutdown_requested()) {
+            return {c.loss, c.jitter_ms, c.kill, {}, false};
+          }
           return {c.loss, c.jitter_ms, c.kill,
                   run_kill_cell(net, c.loss, c.jitter_ms, dup, seed, until,
                                 kill_targets[idx])};
         });
+    const std::size_t total_kill_cells = kill_cells.size();
+    std::erase_if(kill_cells,
+                  [](const KillCell& c) { return !c.computed; });
+    if (util::shutdown_requested()) {
+      std::cout << "[interrupted: flushing " << kill_cells.size() << " of "
+                << total_kill_cells << " mid-recovery cells]\n";
+    }
 
     std::cout << "\n=== Mid-recovery kill sweep: second failure at "
                  "t=850 ms, inside the first wave (transactional) ===\n\n";
@@ -350,5 +377,6 @@ int main(int argc, char** argv) {
                 << "]\n";
     }
   }
+  if (util::shutdown_requested()) return 130;
   return all_deliverable ? 0 : 1;
 }

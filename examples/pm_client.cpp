@@ -1,0 +1,88 @@
+// pm_client — thin command-line client for pm_server.
+//
+// Prints one raw response line per request to stdout (pipe into jq or
+// python for inspection). Exit code: 0 when every response said
+// ok=true, 1 when the server answered a structured error, 2 on usage or
+// connection problems.
+//
+// Usage:
+//   ./build/examples/pm_client --port=7071 --failed=3,4 [--algorithm=pm]
+//     [--deadline-ms=250] [--retroflow-candidates=2] [--repeat=2]
+//   ./build/examples/pm_client --port=7071 --verb=health|metrics
+//   ./build/examples/pm_client --port=7071 --raw='{"verb":"solve",...}'
+//
+// --repeat sends the same request N times on one connection — the
+// second answer demonstrates the plan cache (\"cached\":true, same
+// result bytes).
+#include <iostream>
+
+#include "obs/obs.hpp"
+#include "svc/client.hpp"
+#include "svc/protocol.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pm;
+  util::CliArgs args(argc, argv);
+  const std::string host = args.get_string("host", "127.0.0.1");
+  const int port = static_cast<int>(args.get_int("port", 7071));
+  const std::string raw = args.get_string("raw", "");
+  std::string verb = args.get_string("verb", "solve");
+  const std::string failed_spec = args.get_string("failed", "");
+  const std::string algorithm = args.get_string("algorithm", "pm");
+  const double deadline_ms = args.get_double("deadline-ms", 0.0);
+  const long long retroflow_candidates =
+      args.get_int("retroflow-candidates", 2);
+  const long long repeat = args.get_int("repeat", 1);
+  obs::apply_log_level_flag(args);
+  for (const auto& unused : args.unused()) {
+    obs::log().warn("unrecognized flag --" + unused);
+  }
+
+  std::string line = raw;
+  if (line.empty()) {
+    util::JsonValue req = util::JsonValue::object();
+    req["verb"] = util::JsonValue(verb);
+    if (verb == "solve") {
+      util::JsonValue failed = util::JsonValue::array();
+      for (const std::string& tok : util::split(failed_spec, ',')) {
+        long long id = 0;
+        if (!util::parse_int(tok, id)) {
+          std::cerr << "pm_client: bad --failed entry '" << tok << "'\n";
+          return 2;
+        }
+        failed.push_back(util::JsonValue(static_cast<std::int64_t>(id)));
+      }
+      req["failed"] = std::move(failed);
+      req["algorithm"] = util::JsonValue(algorithm);
+      if (deadline_ms > 0.0) {
+        req["deadline_ms"] = util::JsonValue(deadline_ms);
+      }
+      if (algorithm == "retroflow") {
+        req["retroflow_candidates"] =
+            util::JsonValue(static_cast<std::int64_t>(retroflow_candidates));
+      }
+    }
+    line = req.to_string(0);
+  }
+
+  try {
+    svc::Client client(host, port);
+    bool all_ok = true;
+    for (long long i = 0; i < std::max(1LL, repeat); ++i) {
+      const std::string response = client.roundtrip_line(line);
+      std::cout << response << "\n";
+      try {
+        const util::JsonValue doc = util::JsonValue::parse(response);
+        all_ok &= doc.contains("ok") && doc.at("ok").as_bool();
+      } catch (const std::exception&) {
+        all_ok = false;
+      }
+    }
+    return all_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "pm_client: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -51,7 +51,15 @@ void write_escaped(std::string& out, const std::string& s) {
 }
 
 void write_number(std::string& out, double v) {
-  if (std::isfinite(v) && v == std::floor(v) &&
+  // JSON has no NaN/Inf literal; %g would emit "nan"/"inf" and corrupt
+  // the document. The wire protocol (src/svc) depends on every writer
+  // output being parseable, so non-finite numbers deterministically
+  // degrade to null.
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  if (v == std::floor(v) &&
       std::abs(v) < 9.0e15) {
     out += std::to_string(static_cast<long long>(v));
     return;

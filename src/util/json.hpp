@@ -5,7 +5,9 @@
 // Scope: the JSON subset needed here — null/bool/number/string/array/
 // object, UTF-8 pass-through, \uXXXX escapes for BMP code points. Object
 // member order is preserved (insertion order), which keeps serialized
-// plans diffable.
+// plans diffable. Non-finite numbers (NaN/Inf) have no JSON spelling and
+// are written as null, so writer output is always parseable — a wire
+// requirement for the JSONL service protocol (src/svc).
 #pragma once
 
 #include <cstdint>

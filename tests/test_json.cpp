@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/pm_algorithm.hpp"
 #include "core/pg.hpp"
 #include "core/scenario.hpp"
@@ -95,6 +97,52 @@ TEST(Json, UnicodeEscapes) {
   ASSERT_EQ(s.size(), 2u);
   EXPECT_EQ(static_cast<unsigned char>(s[0]), 0xC3u);
   EXPECT_EQ(static_cast<unsigned char>(s[1]), 0xA9u);
+}
+
+TEST(Json, NonFiniteNumbersWriteAsNull) {
+  // JSON has no NaN/Inf literal; the svc wire protocol depends on every
+  // writer output being parseable, so non-finite degrades to null.
+  EXPECT_EQ(JsonValue(std::nan("")).to_string(), "null");
+  EXPECT_EQ(JsonValue(HUGE_VAL).to_string(), "null");
+  EXPECT_EQ(JsonValue(-HUGE_VAL).to_string(), "null");
+  JsonValue obj = JsonValue::object();
+  obj["bad"] = JsonValue(std::nan(""));
+  obj["good"] = JsonValue(1.5);
+  const std::string text = obj.to_string();
+  EXPECT_EQ(text, R"({"bad":null,"good":1.5})");
+  const JsonValue back = JsonValue::parse(text);
+  EXPECT_TRUE(back.at("bad").is_null());
+  EXPECT_DOUBLE_EQ(back.at("good").as_number(), 1.5);
+}
+
+TEST(Json, ControlCharacterSweepRoundTrips) {
+  // Every control character (0x00-0x1F) must escape on write, parse
+  // back to the same byte, and re-serialize identically.
+  for (int c = 0; c < 0x20; ++c) {
+    std::string s = "a";
+    s += static_cast<char>(c);
+    s += "b";
+    const JsonValue v(s);
+    const std::string once = v.to_string();
+    const JsonValue back = JsonValue::parse(once);
+    EXPECT_EQ(back.as_string(), s) << "control char " << c;
+    EXPECT_EQ(back.to_string(), once) << "control char " << c;
+  }
+}
+
+TEST(Json, MultiByteUtf8PassthroughAndEscapes) {
+  // Raw UTF-8 passes through the writer byte-for-byte...
+  const std::string snowman = "\xE2\x98\x83";       // U+2603
+  const std::string e_acute = "\xC3\xA9";           // U+00E9
+  const JsonValue v(snowman + " " + e_acute);
+  const std::string text = v.to_string();
+  EXPECT_EQ(text, "\"" + snowman + " " + e_acute + "\"");
+  EXPECT_EQ(JsonValue::parse(text).as_string(), v.as_string());
+  // ...and the equivalent \uXXXX escapes parse to the same bytes.
+  EXPECT_EQ(JsonValue::parse("\"\\u2603 \\u00e9\"").as_string(),
+            v.as_string());
+  // Escaped + raw forms normalize to identical serialized output.
+  EXPECT_EQ(JsonValue::parse("\"\\u2603 \\u00e9\"").to_string(), text);
 }
 
 TEST(Json, RoundTripDeepStructure) {

@@ -1,0 +1,107 @@
+// RecoveryPlan serialization contract: the JSON format is pinned by a
+// golden file (a format change must show up as a reviewed diff of
+// tests/data/), and serialize -> deserialize -> serialize must be
+// byte-identical for every algorithm — the property the svc plan cache
+// leans on when it treats serialized payloads as canonical.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/naive.hpp"
+#include "core/pg.hpp"
+#include "core/pm_algorithm.hpp"
+#include "core/retroflow.hpp"
+#include "core/scenario.hpp"
+#include "core/serialize.hpp"
+
+#ifndef PM_TEST_DATA_DIR
+#define PM_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace pm {
+namespace {
+
+using util::JsonValue;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// The deterministic rendering of a plan: wall clock zeroed (same
+/// convention as svc::Engine payloads) so the bytes are a pure function
+/// of the plan's decisions.
+std::string canonical_plan_json(core::RecoveryPlan plan) {
+  plan.solve_seconds = 0.0;
+  return core::plan_to_json(plan).to_string(2);
+}
+
+TEST(SerializeGolden, PmPlanMatchesGoldenFile) {
+  const sdwan::Network net = core::make_att_network();
+  const sdwan::FailureState state(net, {{3, 4}});
+  const std::string produced =
+      canonical_plan_json(core::run_pm(state)) + "\n";
+  const std::string golden =
+      read_file(std::string(PM_TEST_DATA_DIR) + "/plan_pm_att_3_4.json");
+  EXPECT_EQ(produced, golden)
+      << "plan JSON drifted from the golden file; if the format or the "
+         "PM algorithm changed intentionally, regenerate "
+         "tests/data/plan_pm_att_3_4.json";
+}
+
+TEST(SerializeGolden, GoldenFileDeserializesAndValidates) {
+  const sdwan::Network net = core::make_att_network();
+  const sdwan::FailureState state(net, {{3, 4}});
+  const std::string golden =
+      read_file(std::string(PM_TEST_DATA_DIR) + "/plan_pm_att_3_4.json");
+  const core::RecoveryPlan plan =
+      core::plan_from_json(JsonValue::parse(golden));
+  EXPECT_EQ(plan.algorithm, "PM");
+  EXPECT_TRUE(core::validate_plan(state, plan).empty());
+}
+
+/// serialize -> deserialize -> serialize is byte-identical.
+void expect_fixed_point(const core::RecoveryPlan& plan) {
+  const std::string once = core::plan_to_json(plan).to_string(2);
+  const core::RecoveryPlan back =
+      core::plan_from_json(JsonValue::parse(once));
+  const std::string twice = core::plan_to_json(back).to_string(2);
+  EXPECT_EQ(once, twice) << "algorithm " << plan.algorithm;
+}
+
+TEST(SerializeProperty, RoundTripIsByteIdenticalAcrossAlgorithms) {
+  const sdwan::Network net = core::make_att_network();
+  const std::vector<std::vector<sdwan::ControllerId>> scenarios = {
+      {3}, {4}, {3, 4}, {0, 3, 4}};
+  for (const auto& failed : scenarios) {
+    const sdwan::FailureState state(net, {failed});
+    expect_fixed_point(core::run_pm(state));
+    expect_fixed_point(core::run_naive_nearest(state));
+    expect_fixed_point(core::run_retroflow(state));
+    expect_fixed_point(core::run_pg(state));
+  }
+}
+
+TEST(SerializeProperty, RoundTripPreservesEveryField) {
+  const sdwan::Network net = core::make_att_network();
+  const sdwan::FailureState state(net, {{3, 4}});
+  const core::RecoveryPlan plan = core::run_pg(state);
+  const core::RecoveryPlan back =
+      core::plan_from_json(JsonValue::parse(
+          core::plan_to_json(plan).to_string()));
+  EXPECT_EQ(back.algorithm, plan.algorithm);
+  EXPECT_EQ(back.mapping, plan.mapping);
+  EXPECT_EQ(back.sdn_assignments, plan.sdn_assignments);
+  EXPECT_EQ(back.whole_switch_control, plan.whole_switch_control);
+  EXPECT_EQ(back.assignment_controller, plan.assignment_controller);
+  EXPECT_DOUBLE_EQ(back.middle_layer_ms, plan.middle_layer_ms);
+  EXPECT_DOUBLE_EQ(back.solve_seconds, plan.solve_seconds);
+}
+
+}  // namespace
+}  // namespace pm

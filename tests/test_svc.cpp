@@ -1,0 +1,352 @@
+// Tests for the recovery service: request canonicalization, the
+// byte-budgeted LRU plan cache, engine determinism (cached ==
+// recomputed, batch == serial), deadline handling, and a loopback
+// server smoke covering the admission-control contract end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "svc/client.hpp"
+#include "svc/engine.hpp"
+#include "svc/plan_cache.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+
+namespace pm {
+namespace {
+
+using svc::Engine;
+using svc::EngineConfig;
+using svc::PlanCache;
+using svc::SolveParams;
+using util::JsonValue;
+
+// ---------------------------------------------------------------------
+// Canonical keys
+// ---------------------------------------------------------------------
+
+TEST(SvcProtocol, CanonicalKeyIgnoresOrderAndDuplicates) {
+  SolveParams a;
+  a.failed = {4, 3};
+  SolveParams b;
+  b.failed = {3, 4, 3};
+  SolveParams c;
+  c.failed = {3, 4};
+  EXPECT_EQ(svc::canonical_key(a), svc::canonical_key(c));
+  EXPECT_EQ(svc::canonical_key(b), svc::canonical_key(c));
+  EXPECT_EQ(svc::canonical_key(c), "algo=pm|failed=3,4");
+}
+
+TEST(SvcProtocol, CanonicalKeySeparatesAlgorithmsAndKnobs) {
+  SolveParams pm_params;
+  pm_params.failed = {3};
+  SolveParams naive = pm_params;
+  naive.algorithm = "naive";
+  EXPECT_NE(svc::canonical_key(pm_params), svc::canonical_key(naive));
+
+  SolveParams retro = pm_params;
+  retro.algorithm = "retroflow";
+  SolveParams retro3 = retro;
+  retro3.retroflow_candidates = 3;
+  // The candidates knob changes retroflow plans, so it is in the key...
+  EXPECT_NE(svc::canonical_key(retro), svc::canonical_key(retro3));
+  // ...but it is irrelevant to (and excluded from) other algorithms.
+  SolveParams pm_knob = pm_params;
+  pm_knob.retroflow_candidates = 7;
+  EXPECT_EQ(svc::canonical_key(pm_params), svc::canonical_key(pm_knob));
+}
+
+TEST(SvcProtocol, DeadlineExcludedFromKey) {
+  SolveParams a;
+  a.failed = {3};
+  SolveParams b = a;
+  b.deadline_ms = 250.0;
+  EXPECT_EQ(svc::canonical_key(a), svc::canonical_key(b));
+}
+
+TEST(SvcProtocol, ParseRejectsMalformedRequests) {
+  EXPECT_THROW(svc::parse_request("not json"), svc::ProtocolError);
+  EXPECT_THROW(svc::parse_request("[1,2]"), svc::ProtocolError);
+  EXPECT_THROW(svc::parse_request(R"({"verb":"nope"})"),
+               svc::ProtocolError);
+  EXPECT_THROW(
+      svc::parse_request(R"({"verb":"solve","failed":[3],"algorithm":"x"})"),
+      svc::ProtocolError);
+  EXPECT_THROW(
+      svc::parse_request(R"({"verb":"solve","failed":["three"]})"),
+      svc::ProtocolError);
+}
+
+// ---------------------------------------------------------------------
+// PlanCache
+// ---------------------------------------------------------------------
+
+TEST(SvcPlanCache, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Budget fits exactly two of these entries (key 1 byte + payload 9).
+  PlanCache cache(20);
+  cache.put("a", "123456789");
+  cache.put("b", "123456789");
+  EXPECT_EQ(cache.entries(), 2u);
+  // Touch "a" so "b" is the LRU victim.
+  EXPECT_TRUE(cache.get("a").has_value());
+  cache.put("c", "123456789");
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_LE(cache.bytes(), cache.byte_budget());
+}
+
+TEST(SvcPlanCache, CountsHitsAndMisses) {
+  PlanCache cache(1024);
+  EXPECT_FALSE(cache.get("k").has_value());
+  cache.put("k", "v");
+  EXPECT_TRUE(cache.get("k").has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  // peek() counts hits but never misses.
+  EXPECT_FALSE(cache.peek("absent").has_value());
+  EXPECT_TRUE(cache.peek("k").has_value());
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SvcPlanCache, OversizedPayloadIsNeverStored) {
+  PlanCache cache(8);
+  cache.put("k", "way too large for the budget");
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_FALSE(cache.get("k").has_value());
+}
+
+TEST(SvcPlanCache, PutRefreshesExistingEntry) {
+  PlanCache cache(64);
+  cache.put("k", "old");
+  cache.put("k", "newer");
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(*cache.get("k"), "newer");
+  EXPECT_EQ(cache.bytes(), 1u + 5u);
+}
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+EngineConfig small_engine_config() {
+  EngineConfig config;
+  config.jobs = 2;
+  return config;
+}
+
+TEST(SvcEngine, CachedPayloadIsByteIdenticalAcrossAlgorithms) {
+  Engine engine(core::make_att_network(), small_engine_config());
+  for (const std::string& algorithm : svc::known_algorithms()) {
+    SolveParams params;
+    params.failed = {3, 4};
+    params.algorithm = algorithm;
+    const auto cold = engine.solve(params);
+    ASSERT_TRUE(cold.ok) << algorithm << ": " << cold.error_message;
+    EXPECT_FALSE(cold.cache_hit) << algorithm;
+    const auto warm = engine.solve(params);
+    ASSERT_TRUE(warm.ok) << algorithm;
+    EXPECT_TRUE(warm.cache_hit) << algorithm;
+    EXPECT_EQ(warm.payload, cold.payload) << algorithm;
+    // A permuted failure set is the same canonical request.
+    SolveParams permuted = params;
+    permuted.failed = {4, 3};
+    const auto aliased = engine.solve(permuted);
+    EXPECT_TRUE(aliased.cache_hit) << algorithm;
+    EXPECT_EQ(aliased.payload, cold.payload) << algorithm;
+  }
+}
+
+TEST(SvcEngine, TryCachedOnlyAnswersResidentKeys) {
+  Engine engine(core::make_att_network(), small_engine_config());
+  SolveParams params;
+  params.failed = {3};
+  EXPECT_FALSE(engine.try_cached(params).has_value());
+  const auto cold = engine.solve(params);
+  ASSERT_TRUE(cold.ok);
+  const auto hit = engine.try_cached(params);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_EQ(hit->payload, cold.payload);
+}
+
+TEST(SvcEngine, RejectsInvalidFailureSets) {
+  Engine engine(core::make_att_network(), small_engine_config());
+  SolveParams out_of_range;
+  out_of_range.failed = {99};
+  const auto a = engine.solve(out_of_range);
+  EXPECT_FALSE(a.ok);
+  EXPECT_EQ(a.error_code, svc::kErrBadRequest);
+
+  SolveParams all_dead;
+  all_dead.failed = {0, 1, 2, 3, 4, 5};
+  const auto b = engine.solve(all_dead);
+  EXPECT_FALSE(b.ok);
+  EXPECT_EQ(b.error_code, svc::kErrBadRequest);
+}
+
+TEST(SvcEngine, ExpiredDeadlineReturnsDeadlineExceeded) {
+  Engine engine(core::make_att_network(), small_engine_config());
+  svc::SolveJob job;
+  job.params.failed = {3};
+  job.deadline = std::chrono::steady_clock::now() -
+                 std::chrono::milliseconds(1);
+  const auto outcome = engine.solve(job);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error_code, svc::kErrDeadlineExceeded);
+  // The expired request never computed or filled the cache.
+  EXPECT_FALSE(engine.try_cached(job.params).has_value());
+}
+
+TEST(SvcEngine, BatchMatchesSerialSolves) {
+  Engine engine(core::make_att_network(), small_engine_config());
+  std::vector<svc::SolveJob> jobs;
+  for (const auto& failed : std::vector<std::vector<sdwan::ControllerId>>{
+           {3}, {4}, {3, 4}, {0, 5}}) {
+    svc::SolveJob job;
+    job.params.failed = failed;
+    jobs.push_back(job);
+  }
+  const auto batch = engine.solve_batch(jobs);
+  ASSERT_EQ(batch.size(), jobs.size());
+
+  Engine serial_engine(core::make_att_network(), small_engine_config());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto one = serial_engine.solve(jobs[i]);
+    ASSERT_TRUE(batch[i].ok);
+    ASSERT_TRUE(one.ok);
+    EXPECT_EQ(batch[i].payload, one.payload) << "job " << i;
+    EXPECT_EQ(batch[i].key, one.key) << "job " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Server smoke over loopback
+// ---------------------------------------------------------------------
+
+class SvcServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineConfig config;
+    config.jobs = 1;
+    engine_ = std::make_unique<Engine>(core::make_att_network(), config);
+    svc::ServerConfig server_config;
+    server_config.port = 0;  // ephemeral
+    server_ = std::make_unique<svc::Server>(*engine_, server_config);
+    server_->start();
+  }
+
+  void TearDown() override { server_->stop(); }
+
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<svc::Server> server_;
+};
+
+TEST_F(SvcServerTest, HealthReportsResidentModel) {
+  svc::Client client("127.0.0.1", server_->port());
+  const JsonValue health = client.health();
+  ASSERT_TRUE(health.at("ok").as_bool());
+  const JsonValue& result = health.at("result");
+  EXPECT_EQ(result.at("status").as_string(), "ok");
+  EXPECT_EQ(result.at("switches").as_int(), 25);
+  EXPECT_EQ(result.at("controllers").as_int(), 6);
+  EXPECT_EQ(result.at("flows").as_int(), 600);
+  EXPECT_GT(result.at("diameter_hops").as_int(), 0);
+}
+
+TEST_F(SvcServerTest, ColdThenWarmIsByteIdenticalAndCounted) {
+  svc::Client client("127.0.0.1", server_->port());
+  const std::string line =
+      R"({"verb":"solve","failed":[3,4],"algorithm":"pm","id":"r1"})";
+  const std::string cold_raw = client.roundtrip_line(line);
+  const std::string warm_raw = client.roundtrip_line(line);
+  const JsonValue cold = JsonValue::parse(cold_raw);
+  const JsonValue warm = JsonValue::parse(warm_raw);
+  ASSERT_TRUE(cold.at("ok").as_bool());
+  ASSERT_TRUE(warm.at("ok").as_bool());
+  EXPECT_FALSE(cold.at("cached").as_bool());
+  EXPECT_TRUE(warm.at("cached").as_bool());
+  EXPECT_EQ(cold.at("id").as_string(), "r1");
+  // The result member is spliced verbatim from the cache: identical
+  // bytes, not merely an equal tree.
+  const auto result_bytes = [](const std::string& raw) {
+    const auto pos = raw.find("\"result\":");
+    return raw.substr(pos);
+  };
+  EXPECT_EQ(result_bytes(warm_raw), result_bytes(cold_raw));
+
+  const JsonValue metrics = client.metrics();
+  ASSERT_TRUE(metrics.at("ok").as_bool());
+  // The metrics verb returns the registry dump: an array of
+  // {"name","type","value"} entries.
+  bool found = false;
+  for (std::size_t i = 0; i < metrics.at("result").size(); ++i) {
+    const JsonValue& entry = metrics.at("result").at(i);
+    if (entry.at("name").as_string() == "svc_cache_hits_total") {
+      EXPECT_GE(entry.at("value").as_number(), 1.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "svc_cache_hits_total missing from metrics verb";
+}
+
+TEST_F(SvcServerTest, MalformedLineKeepsConnectionUsable) {
+  svc::Client client("127.0.0.1", server_->port());
+  const JsonValue err =
+      JsonValue::parse(client.roundtrip_line("this is not json"));
+  ASSERT_FALSE(err.at("ok").as_bool());
+  EXPECT_EQ(err.at("error").at("code").as_string(), svc::kErrBadRequest);
+  // Same connection still answers real requests.
+  const JsonValue health = client.health();
+  EXPECT_TRUE(health.at("ok").as_bool());
+}
+
+TEST_F(SvcServerTest, UnknownAlgorithmIsStructuredError) {
+  svc::Client client("127.0.0.1", server_->port());
+  const JsonValue err = JsonValue::parse(client.roundtrip_line(
+      R"({"verb":"solve","failed":[3],"algorithm":"magic"})"));
+  ASSERT_FALSE(err.at("ok").as_bool());
+  EXPECT_EQ(err.at("error").at("code").as_string(), svc::kErrBadRequest);
+}
+
+TEST(SvcServer, ZeroQueueShedsUncachedSolves) {
+  // max_queue=0: every solve that needs compute is shed deterministically
+  // with `overloaded`; cached answers still flow (they bypass the queue).
+  EngineConfig config;
+  config.jobs = 1;
+  Engine engine(core::make_att_network(), config);
+  svc::ServerConfig server_config;
+  server_config.port = 0;
+  server_config.max_queue = 0;
+  svc::Server server(engine, server_config);
+  server.start();
+  {
+    svc::Client client("127.0.0.1", server.port());
+    const std::string line = R"({"verb":"solve","failed":[3]})";
+    const JsonValue shed = JsonValue::parse(client.roundtrip_line(line));
+    ASSERT_FALSE(shed.at("ok").as_bool());
+    EXPECT_EQ(shed.at("error").at("code").as_string(),
+              svc::kErrOverloaded);
+    // Warm the cache out of band; the same request now succeeds via the
+    // fast path even though the queue admits nothing.
+    SolveParams params;
+    params.failed = {3};
+    ASSERT_TRUE(engine.solve(params).ok);
+    const JsonValue warm = JsonValue::parse(client.roundtrip_line(line));
+    ASSERT_TRUE(warm.at("ok").as_bool());
+    EXPECT_TRUE(warm.at("cached").as_bool());
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace pm
